@@ -1,0 +1,72 @@
+//! Benign background-traffic generation for the ML-defense use case:
+//! "testing a defense strategy by generating both malicious DDoS and
+//! normal traffic to TServer" (§V-A).
+
+use netsim::{Application, Ctx, Payload};
+use rand::Rng;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TIMER_SEND: u64 = 1;
+
+/// A benign client: sends variably-sized datagrams to the server at a low,
+/// jittered rate (smart-home telemetry-like traffic).
+#[derive(Debug)]
+pub struct BenignClient {
+    server: SocketAddr,
+    mean_interval: Duration,
+    src_port: u16,
+    /// Datagrams sent.
+    pub sent: u64,
+}
+
+impl BenignClient {
+    /// Creates a client talking to `server` with the given mean interval.
+    pub fn new(server: SocketAddr, mean_interval: Duration) -> Self {
+        BenignClient {
+            server,
+            mean_interval,
+            src_port: 0,
+            sent: 0,
+        }
+    }
+
+    fn arm(&self, ctx: &mut Ctx<'_>) {
+        // Jittered inter-send gap: U[0.5, 1.5] × mean.
+        let mean_ms = self.mean_interval.as_millis().max(2) as u64;
+        let gap = Duration::from_millis(ctx.rng().gen_range(mean_ms / 2..mean_ms * 3 / 2));
+        ctx.set_timer(gap, TIMER_SEND);
+    }
+}
+
+impl Application for BenignClient {
+    fn name(&self) -> &str {
+        "benign-client"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.src_port = ctx.udp_bind_ephemeral();
+        self.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_SEND {
+            return;
+        }
+        if ctx.node_is_up() {
+            let bytes = ctx.rng().gen_range(40..1200);
+            // Mix of ports: telemetry (80), DNS-ish (53), app-specific.
+            let port = *[self.server.port(), 53, 8883]
+                .get(ctx.rng().gen_range(0..3))
+                .expect("index in range");
+            let dst = SocketAddr::new(self.server.ip(), port);
+            if ctx
+                .udp_send(self.src_port, dst, Payload::empty(), bytes)
+                .is_ok()
+            {
+                self.sent += 1;
+            }
+        }
+        self.arm(ctx);
+    }
+}

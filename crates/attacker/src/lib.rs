@@ -1,0 +1,29 @@
+//! # attacker — the Attacker component's tooling
+//!
+//! The exploit-and-infection side of the paper's Attacker node (§II-A,
+//! §III-A):
+//!
+//! * [`ExploitForge`] — ROP payload construction under three strategies
+//!   (leak+rebase, static chain, naive code injection);
+//! * [`MaliciousDnsServer`] — exploits Connman-like Devs through DNS
+//!   responses (CVE-2017-12865 path);
+//! * [`Dhcpv6Injector`] — exploits Dnsmasq-like Devs through multicast
+//!   DHCPv6 RELAY-FORW messages (CVE-2017-14493 path);
+//! * [`FileServer`] — the Apache-role static HTTP server hosting the
+//!   infection script and per-architecture bot binaries.
+//!
+//! The C&C server itself lives in the [`malware`] crate (it ships with the
+//! Mirai source); the full Attacker node is assembled by `ddosim-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dhcp6;
+pub mod dns_server;
+pub mod exploit;
+pub mod fileserver;
+
+pub use dhcp6::Dhcpv6Injector;
+pub use dns_server::MaliciousDnsServer;
+pub use exploit::{ExploitForge, ExploitStrategy};
+pub use fileserver::FileServer;

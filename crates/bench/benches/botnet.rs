@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the full pipeline: how fast a complete
+//! botnet-DDoS scenario (infect → recruit → flood → measure) simulates,
+//! per Dev count — the wall-clock scaling behind Table I's Attack Time
+//! column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddosim_core::{AttackSpec, SimulationBuilder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("botnet/full_scenario");
+    group.sample_size(10);
+    for devs in [5usize, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(devs), &devs, |b, &devs| {
+            b.iter(|| {
+                let result = SimulationBuilder::new()
+                    .devs(devs)
+                    .attack(AttackSpec::udp_plain(Duration::from_secs(20)))
+                    .attack_at(Duration::from_secs(30))
+                    .sim_time(Duration::from_secs(60))
+                    .attack_ramp(Duration::from_secs(3))
+                    .seed(42)
+                    .run()
+                    .expect("valid configuration");
+                assert_eq!(result.infected, devs);
+                black_box(result)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood_only(c: &mut Criterion) {
+    use malware::FloodEngine;
+    use netsim::SimTime;
+    use protocols::{AttackCommand, AttackVector};
+
+    let cmd = AttackCommand {
+        vector: AttackVector::UdpPlain,
+        target: "10.0.0.9".parse().expect("ip"),
+        port: 80,
+        duration_secs: 100,
+        payload_bytes: None,
+    };
+    let engine = FloodEngine::start(cmd, 7, 600_000, SimTime::ZERO);
+    let src = "10.0.0.1:4000".parse().expect("addr");
+    c.bench_function("botnet/flood_packet_build", |b| {
+        b.iter(|| black_box(engine.build_packet(black_box(src))));
+    });
+}
+
+criterion_group!(benches, bench_full_scenario, bench_flood_only);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the discrete-event engine: raw event
+//! throughput, link saturation, and tcp-lite handshakes — the simulator
+//! performance that bounds how large a botnet a host can simulate
+//! (the paper's scalability argument for containers over full emulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::{Application, Ctx, LinkConfig, Packet, Payload, SimTime, Simulator, TcpEvent};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn v4(d: u8) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, 0, d))
+}
+
+#[derive(Default)]
+struct Sink(u64);
+impl Application for Sink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(9).expect("bind");
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &Packet) {
+        self.0 += 1;
+    }
+}
+
+struct Blaster {
+    dst: SocketAddr,
+    count: u32,
+    sent: u32,
+}
+impl Application for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(1000).expect("bind");
+        ctx.set_timer(Duration::ZERO, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        if self.sent >= self.count {
+            return;
+        }
+        self.sent += 1;
+        ctx.udp_send(1000, self.dst, Payload::empty(), 512).expect("send");
+        ctx.set_timer(Duration::from_micros(50), 0);
+    }
+}
+
+fn two_hosts(rate_bps: u64) -> Simulator {
+    let mut sim = Simulator::new(1);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let ia = sim.add_iface(a, vec![v4(1)]);
+    let ib = sim.add_iface(b, vec![v4(2)]);
+    sim.connect_p2p(ia, ib, LinkConfig::new(rate_bps, Duration::from_millis(1)))
+        .expect("link");
+    sim.add_default_route(a, ia);
+    sim.add_default_route(b, ib);
+    sim
+}
+
+fn bench_packet_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    const PACKETS: u32 = 10_000;
+    group.throughput(Throughput::Elements(u64::from(PACKETS)));
+    group.bench_function("udp_delivery_10k_packets", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = two_hosts(1_000_000_000);
+                sim.install_app(
+                    netsim::NodeId::from_index(1),
+                    Box::new(Sink::default()),
+                );
+                sim.install_app(
+                    netsim::NodeId::from_index(0),
+                    Box::new(Blaster {
+                        dst: SocketAddr::new(v4(2), 9),
+                        count: PACKETS,
+                        sent: 0,
+                    }),
+                );
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(10));
+                assert_eq!(sim.stats().packets_delivered, u64::from(PACKETS));
+                sim
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_tcp_handshake(c: &mut Criterion) {
+    struct Server;
+    impl Application for Server {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(23).expect("listen");
+        }
+    }
+    struct Clients {
+        server: SocketAddr,
+        remaining: u32,
+        connected: u32,
+    }
+    impl Application for Clients {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(Duration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            ctx.tcp_connect(self.server).expect("connect");
+            ctx.set_timer(Duration::from_micros(100), 0);
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, ev: TcpEvent) {
+            if let TcpEvent::Connected { conn } = ev {
+                self.connected += 1;
+                ctx.tcp_close(conn);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("engine");
+    const CONNS: u32 = 1_000;
+    group.throughput(Throughput::Elements(u64::from(CONNS)));
+    group.bench_function("tcp_handshake_1k_conns", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = two_hosts(1_000_000_000);
+                sim.install_app(netsim::NodeId::from_index(1), Box::new(Server));
+                sim.install_app(
+                    netsim::NodeId::from_index(0),
+                    Box::new(Clients {
+                        server: SocketAddr::new(v4(2), 23),
+                        remaining: CONNS,
+                        connected: 0,
+                    }),
+                );
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(10));
+                sim
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_packet_delivery, bench_tcp_handshake
+}
+criterion_main!(benches);

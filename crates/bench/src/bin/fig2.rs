@@ -1,0 +1,65 @@
+//! Regenerates **Figure 2**: average received data rate at TServer vs
+//! number of Devs (10–150), for no/static/dynamic churn; 100-second
+//! UDP-PLAIN attack (§IV-B).
+//!
+//! Paper shape to reproduce: a non-linear (concave) increase with Dev
+//! count for every churn level, with no churn ≥ static churn ≥ dynamic
+//! churn.
+
+use ddosim_core::experiment::fig2;
+use ddosim_core::report::{fmt_f, Table};
+
+fn main() {
+    let dev_counts: Vec<usize> = if ddosim_bench::quick_mode() {
+        vec![10, 50, 100]
+    } else {
+        vec![10, 25, 50, 75, 100, 125, 150]
+    };
+    let reps = ddosim_bench::replicates(3);
+    println!(
+        "Figure 2 sweep: devs={dev_counts:?} × churn {{none, static, dynamic}} × {reps} replicates"
+    );
+    let points = fig2(&dev_counts, reps, 1000);
+
+    let mut table = Table::new(
+        "Figure 2 — average received data rate (kbps) at TServer",
+        &["devs", "churn", "avg kbps", "mean infected"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.devs.to_string(),
+            p.churn.to_string(),
+            fmt_f(p.avg_kbps, 1),
+            fmt_f(p.infected, 1),
+        ]);
+    }
+    println!("{}", table.render());
+    ddosim_bench::write_artifact("fig2.csv", &table.to_csv());
+
+    let runs: Vec<&ddosim_core::RunResult> = points.iter().flat_map(|p| p.runs.iter()).collect();
+    ddosim_bench::write_json("fig2_runs.json", &runs);
+
+    // Shape checks the paper reports.
+    let series = |mode: churn::ChurnMode| -> Vec<f64> {
+        points
+            .iter()
+            .filter(|p| p.churn == mode)
+            .map(|p| p.avg_kbps)
+            .collect()
+    };
+    let none = series(churn::ChurnMode::None);
+    let increases = none.windows(2).all(|w| w[1] > w[0]);
+    println!("monotone increase with Devs (no churn): {increases}");
+    if none.len() >= 3 {
+        // Per-Dev slopes so unequal x-spacing does not skew the ratio.
+        let dx_first = (dev_counts[1] - dev_counts[0]) as f64;
+        let n = none.len();
+        let dx_last = (dev_counts[n - 1] - dev_counts[n - 2]) as f64;
+        let first_slope = ((none[1] - none[0]) / dx_first).max(1e-9);
+        let last_slope = (none[n - 1] - none[n - 2]) / dx_last;
+        println!(
+            "concavity (last-segment slope / first-segment slope, per Dev): {:.2} (<1 = non-linear flattening)",
+            last_slope / first_slope
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 3**: average received data rate vs attack duration
+//! (150/200/300 s), across rounds of 50/100/150/200 Devs (§IV-B).
+//!
+//! Paper shape to reproduce: for every Dev count, a longer attack yields a
+//! higher average received data rate (the fixed ramp-up amortizes over a
+//! longer steady-state window).
+
+use ddosim_core::experiment::fig3;
+use ddosim_core::report::{fmt_f, Table};
+
+fn main() {
+    let (dev_counts, durations): (Vec<usize>, Vec<u64>) = if ddosim_bench::quick_mode() {
+        (vec![50, 100], vec![150, 300])
+    } else {
+        (vec![50, 100, 150, 200], vec![150, 200, 300])
+    };
+    let reps = ddosim_bench::replicates(3);
+    println!("Figure 3 sweep: devs={dev_counts:?} × durations={durations:?}s × {reps} replicates");
+    let points = fig3(&dev_counts, &durations, reps, 2000);
+
+    let mut table = Table::new(
+        "Figure 3 — average received data rate (kbps) vs attack duration",
+        &["devs", "duration (s)", "avg kbps"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.devs.to_string(),
+            p.duration_secs.to_string(),
+            fmt_f(p.avg_kbps, 1),
+        ]);
+    }
+    println!("{}", table.render());
+    ddosim_bench::write_artifact("fig3.csv", &table.to_csv());
+    let runs: Vec<&ddosim_core::RunResult> = points.iter().flat_map(|p| p.runs.iter()).collect();
+    ddosim_bench::write_json("fig3_runs.json", &runs);
+
+    // Shape check: within each round, averages rise with duration.
+    for &devs in &dev_counts {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.devs == devs)
+            .map(|p| p.avg_kbps)
+            .collect();
+        let monotone = series.windows(2).all(|w| w[1] > w[0]);
+        println!("devs={devs}: average rises with duration: {monotone} ({series:?})");
+    }
+}

@@ -1,0 +1,514 @@
+//! Simulation configuration and the [`SimulationBuilder`].
+
+use churn::ChurnMode;
+use firmware::CommandSet;
+use protocols::AttackVector;
+use std::ops::RangeInclusive;
+use std::time::Duration;
+use tinyvm::{Arch, ProtectionMix};
+
+pub use attacker::ExploitStrategy;
+
+/// Which vulnerable daemon a Dev runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DaemonKind {
+    /// The Connman-like network manager (DNS exploit path).
+    Connman,
+    /// The Dnsmasq-like DNS/DHCP daemon (DHCPv6 exploit path).
+    Dnsmasq,
+}
+
+impl std::fmt::Display for DaemonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonKind::Connman => f.write_str("connman"),
+            DaemonKind::Dnsmasq => f.write_str("dnsmasq"),
+        }
+    }
+}
+
+/// The distribution of daemons across Devs ("randomly load them with
+/// vulnerable Connman or Dnsmasq binaries", §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinaryMix {
+    /// All Devs run the Connman-like daemon.
+    ConnmanOnly,
+    /// All Devs run the Dnsmasq-like daemon.
+    DnsmasqOnly,
+    /// Each Dev draws Connman with the given probability.
+    Mixed {
+        /// Probability a Dev runs Connman.
+        connman_fraction: f64,
+    },
+}
+
+impl BinaryMix {
+    /// The paper's setup: Devs randomly run one of the two daemons.
+    pub fn half_and_half() -> Self {
+        BinaryMix::Mixed {
+            connman_fraction: 0.5,
+        }
+    }
+}
+
+impl Default for BinaryMix {
+    fn default() -> Self {
+        BinaryMix::half_and_half()
+    }
+}
+
+/// How Devs are recruited into the botnet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Recruitment {
+    /// The paper's contribution: remote memory-error exploitation.
+    #[default]
+    MemoryError,
+    /// The Mirai-classic baseline: telnet dictionary scanning. Each Dev
+    /// exposes telnet; `default_credential_fraction` of them still use a
+    /// dictionary credential.
+    CredentialScanner {
+        /// Fraction of Devs with default (dictionary) credentials.
+        default_credential_fraction: f64,
+    },
+    /// Worm mode: the attacker compromises only `seeds` devices; every
+    /// recruited bot then scans the subnet itself ("Botnet Malware can
+    /// simultaneously scan the network for new potential victims", §II-A).
+    /// Produces the exponential growth curve epidemic models describe.
+    SelfPropagating {
+        /// Fraction of Devs with default (dictionary) credentials.
+        default_credential_fraction: f64,
+        /// Devices the attacker's own scanner targets initially.
+        seeds: usize,
+    },
+}
+
+
+/// Shape of the simulated Internet joining the components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyKind {
+    /// The paper's model (§III-D): one fabric node, one abstract link per
+    /// component.
+    #[default]
+    Star,
+    /// Two-tier extension (lifting the §V-C "uniform connections"
+    /// limitation): Devs share regional uplinks into a backbone; the
+    /// Attacker and TServer sit on the backbone.
+    Tiered {
+        /// Number of regional routers (Devs are assigned round-robin).
+        regions: usize,
+        /// Capacity of each regional uplink, bps.
+        region_uplink_bps: u64,
+    },
+}
+
+/// The attack to launch once the botnet is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackSpec {
+    /// Flood vector.
+    pub vector: AttackVector,
+    /// Attack duration.
+    pub duration: Duration,
+    /// Payload bytes per packet (`None` = vector default, 512 for
+    /// UDP-PLAIN).
+    pub payload_bytes: Option<u32>,
+    /// Destination port on TServer.
+    pub port: u16,
+}
+
+impl AttackSpec {
+    /// The paper's attack: Mirai's volumetric UDP-PLAIN flood.
+    pub fn udp_plain(duration: Duration) -> Self {
+        AttackSpec {
+            vector: AttackVector::UdpPlain,
+            duration,
+            payload_bytes: None,
+            port: 80,
+        }
+    }
+}
+
+impl Default for AttackSpec {
+    fn default() -> Self {
+        AttackSpec::udp_plain(Duration::from_secs(100))
+    }
+}
+
+/// Full configuration of one DDoSim run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of Devs.
+    pub devs: usize,
+    /// Daemon distribution.
+    pub binary_mix: BinaryMix,
+    /// Memory-protection distribution.
+    pub protections: ProtectionMix,
+    /// Dev CPU architecture (the paper's experiments use x86-64).
+    pub arch: Arch,
+    /// Dev access-link rate range in kbps (the paper selects 100–500 kbps,
+    /// the average IoT range).
+    pub access_rate_kbps: RangeInclusive<u64>,
+    /// Rate of the fabric→TServer bottleneck link, bps.
+    pub tserver_link_bps: u64,
+    /// Queue capacity of the bottleneck link, bytes.
+    pub tserver_queue_bytes: u64,
+    /// One-way delay of each access link.
+    pub access_delay: Duration,
+    /// Churn variant.
+    pub churn: ChurnMode,
+    /// The attack to run.
+    pub attack: AttackSpec,
+    /// When the C&C admin issues the attack command.
+    pub attack_at: Duration,
+    /// Total NS-3-style simulation horizon (the paper uses 600 s).
+    pub sim_time: Duration,
+    /// Exploit construction strategy.
+    pub strategy: ExploitStrategy,
+    /// Shell commands available in Dev images (hardening ablations remove
+    /// `curl`).
+    pub commands: CommandSet,
+    /// Recruitment mechanism.
+    pub recruitment: Recruitment,
+    /// Bot flood offered rate, bps.
+    pub flood_rate_bps: u64,
+    /// Upper bound of the per-bot flood ramp-up delay.
+    pub attack_ramp: Duration,
+    /// Attack TServer's IPv6 address instead of IPv4 (the paper adds IPv6
+    /// support to NS3DockerEmulator; floods work over either family).
+    pub attack_over_ipv6: bool,
+    /// Per-device reboot rate (expected reboots per minute; 0 disables).
+    /// Mirai does not survive reboots, so rebooted Devs must be
+    /// re-recruited — the recovered→susceptible loop of SEIRS models.
+    pub reboot_rate_per_min: f64,
+    /// Fabric shape.
+    pub topology: TopologyKind,
+    /// Additional admin telnet lines sent to the C&C at the given times
+    /// (Mirai admin syntax, e.g. `("stop", t)` or a second
+    /// `udpplain <ip> <port> <secs>`); the main attack command from
+    /// [`SimulationConfig::attack`] is always issued at `attack_at`.
+    pub admin_script: Vec<(Duration, String)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            devs: 10,
+            binary_mix: BinaryMix::default(),
+            protections: ProtectionMix::RandomSubsets,
+            arch: Arch::X86_64,
+            access_rate_kbps: 100..=500,
+            tserver_link_bps: 35_000_000,
+            tserver_queue_bytes: 512 * 1024,
+            access_delay: Duration::from_millis(10),
+            churn: ChurnMode::None,
+            attack: AttackSpec::default(),
+            attack_at: Duration::from_secs(60),
+            sim_time: Duration::from_secs(600),
+            strategy: ExploitStrategy::LeakRebase,
+            commands: CommandSet::standard(),
+            recruitment: Recruitment::MemoryError,
+            flood_rate_bps: malware::DEFAULT_FLOOD_RATE_BPS,
+            attack_ramp: malware::DEFAULT_ATTACK_RAMP,
+            attack_over_ipv6: false,
+            reboot_rate_per_min: 0.0,
+            topology: TopologyKind::Star,
+            admin_script: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devs == 0 {
+            return Err("at least one Dev is required".into());
+        }
+        if self.access_rate_kbps.is_empty() {
+            return Err("access rate range is empty".into());
+        }
+        if *self.access_rate_kbps.start() == 0 {
+            return Err("access rate must be positive".into());
+        }
+        if self.attack_at + self.attack.duration > self.sim_time {
+            return Err(format!(
+                "attack window ({}s at {}s) exceeds the simulation horizon ({}s)",
+                self.attack.duration.as_secs(),
+                self.attack_at.as_secs(),
+                self.sim_time.as_secs()
+            ));
+        }
+        if let BinaryMix::Mixed { connman_fraction } = self.binary_mix {
+            if !(0.0..=1.0).contains(&connman_fraction) {
+                return Err("connman fraction must be in [0, 1]".into());
+            }
+        }
+        match self.recruitment {
+            Recruitment::CredentialScanner {
+                default_credential_fraction,
+            }
+            | Recruitment::SelfPropagating {
+                default_credential_fraction,
+                ..
+            } => {
+                if !(0.0..=1.0).contains(&default_credential_fraction) {
+                    return Err("default credential fraction must be in [0, 1]".into());
+                }
+            }
+            Recruitment::MemoryError => {}
+        }
+        if let Recruitment::SelfPropagating { seeds, .. } = self.recruitment {
+            if seeds == 0 || seeds > self.devs {
+                return Err("seed count must be in 1..=devs".into());
+            }
+        }
+        if !(self.reboot_rate_per_min.is_finite() && self.reboot_rate_per_min >= 0.0) {
+            return Err("reboot rate must be a finite non-negative number".into());
+        }
+        if let TopologyKind::Tiered { regions, region_uplink_bps } = self.topology {
+            if regions == 0 {
+                return Err("tiered topology needs at least one region".into());
+            }
+            if region_uplink_bps == 0 {
+                return Err("regional uplinks must have positive capacity".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for a DDoSim run.
+///
+/// # Examples
+///
+/// ```
+/// use ddosim_core::{AttackSpec, SimulationBuilder};
+/// use std::time::Duration;
+///
+/// let builder = SimulationBuilder::new()
+///     .devs(25)
+///     .attack(AttackSpec::udp_plain(Duration::from_secs(100)))
+///     .seed(7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimulationBuilder {
+    config: SimulationConfig,
+}
+
+impl SimulationBuilder {
+    /// Starts from the default (paper-like) configuration.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            config: SimulationConfig::default(),
+        }
+    }
+
+    /// Number of Devs.
+    pub fn devs(mut self, n: usize) -> Self {
+        self.config.devs = n;
+        self
+    }
+
+    /// Daemon distribution across Devs.
+    pub fn binary_mix(mut self, mix: BinaryMix) -> Self {
+        self.config.binary_mix = mix;
+        self
+    }
+
+    /// Memory-protection distribution across Devs.
+    pub fn protections(mut self, mix: ProtectionMix) -> Self {
+        self.config.protections = mix;
+        self
+    }
+
+    /// Dev access-link rate range in kbps.
+    pub fn access_rate_kbps(mut self, range: RangeInclusive<u64>) -> Self {
+        self.config.access_rate_kbps = range;
+        self
+    }
+
+    /// Bottleneck (fabric→TServer) link rate in bps.
+    pub fn tserver_link_bps(mut self, bps: u64) -> Self {
+        self.config.tserver_link_bps = bps;
+        self
+    }
+
+    /// Churn variant.
+    pub fn churn(mut self, mode: ChurnMode) -> Self {
+        self.config.churn = mode;
+        self
+    }
+
+    /// The attack to run.
+    pub fn attack(mut self, spec: AttackSpec) -> Self {
+        self.config.attack = spec;
+        self
+    }
+
+    /// When the admin issues the attack command.
+    pub fn attack_at(mut self, at: Duration) -> Self {
+        self.config.attack_at = at;
+        self
+    }
+
+    /// Simulation horizon.
+    pub fn sim_time(mut self, t: Duration) -> Self {
+        self.config.sim_time = t;
+        self
+    }
+
+    /// Exploit strategy.
+    pub fn strategy(mut self, s: ExploitStrategy) -> Self {
+        self.config.strategy = s;
+        self
+    }
+
+    /// Dev shell command set (hardening ablations).
+    pub fn commands(mut self, commands: CommandSet) -> Self {
+        self.config.commands = commands;
+        self
+    }
+
+    /// Recruitment mechanism.
+    pub fn recruitment(mut self, r: Recruitment) -> Self {
+        self.config.recruitment = r;
+        self
+    }
+
+    /// Bot flood offered rate in bps.
+    pub fn flood_rate_bps(mut self, bps: u64) -> Self {
+        self.config.flood_rate_bps = bps;
+        self
+    }
+
+    /// Upper bound of per-bot flood ramp-up.
+    pub fn attack_ramp(mut self, ramp: Duration) -> Self {
+        self.config.attack_ramp = ramp;
+        self
+    }
+
+    /// Attack TServer over IPv6 instead of IPv4.
+    pub fn attack_over_ipv6(mut self, v6: bool) -> Self {
+        self.config.attack_over_ipv6 = v6;
+        self
+    }
+
+    /// Per-device reboot rate (reboots per minute; 0 disables).
+    pub fn reboot_rate_per_min(mut self, rate: f64) -> Self {
+        self.config.reboot_rate_per_min = rate;
+        self
+    }
+
+    /// Fabric shape (star is the paper's model).
+    pub fn topology(mut self, t: TopologyKind) -> Self {
+        self.config.topology = t;
+        self
+    }
+
+    /// Appends an extra admin telnet line at `at` (Mirai admin syntax).
+    pub fn admin_command(mut self, at: Duration, line: impl Into<String>) -> Self {
+        self.config.admin_script.push((at, line.into()));
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Builds the simulation instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the configuration is invalid.
+    pub fn build(self) -> Result<crate::Ddosim, String> {
+        crate::Ddosim::new(self.config)
+    }
+
+    /// Builds and runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the configuration is invalid.
+    pub fn run(self) -> Result<crate::RunResult, String> {
+        Ok(self.build()?.run_to_completion())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SimulationConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_devs_invalid() {
+        let c = SimulationConfig {
+            devs: 0,
+            ..SimulationConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn attack_window_must_fit_horizon() {
+        let mut c = SimulationConfig {
+            attack_at: Duration::from_secs(550),
+            ..SimulationConfig::default()
+        };
+        c.attack.duration = Duration::from_secs(100);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fractions_validated() {
+        let c = SimulationConfig {
+            binary_mix: BinaryMix::Mixed {
+                connman_fraction: 1.5,
+            },
+            ..SimulationConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SimulationConfig {
+            recruitment: Recruitment::CredentialScanner {
+                default_credential_fraction: -0.1,
+            },
+            ..SimulationConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let b = SimulationBuilder::new()
+            .devs(50)
+            .churn(ChurnMode::Dynamic)
+            .seed(9);
+        assert_eq!(b.config().devs, 50);
+        assert_eq!(b.config().churn, ChurnMode::Dynamic);
+        assert_eq!(b.config().seed, 9);
+    }
+
+    #[test]
+    fn udp_plain_spec_defaults() {
+        let a = AttackSpec::udp_plain(Duration::from_secs(100));
+        assert_eq!(a.vector, AttackVector::UdpPlain);
+        assert_eq!(a.port, 80);
+        assert_eq!(a.payload_bytes, None);
+    }
+}

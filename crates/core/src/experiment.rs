@@ -1,0 +1,438 @@
+//! The paper's experiment series: parameter sweeps that regenerate every
+//! table and figure of §IV.
+//!
+//! Each function returns typed rows; the `ddosim-bench` binaries render
+//! them with [`crate::report::Table`] and record them for EXPERIMENTS.md.
+//! Sweeps run their configurations in parallel (one simulator per thread;
+//! simulators are single-threaded worlds).
+
+use crate::config::{Recruitment, SimulationBuilder, SimulationConfig};
+use crate::instance::Ddosim;
+use crate::result::RunResult;
+use churn::ChurnMode;
+use firmware::CommandSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tinyvm::{ProtectionMix, Protections};
+
+/// Runs each configuration (in parallel across available threads) and
+/// returns results in input order.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid — sweep code constructs its own
+/// configurations, so this indicates a programming error.
+pub fn run_configs(configs: Vec<SimulationConfig>) -> Vec<RunResult> {
+    let n = configs.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let config = configs[i].clone();
+                let result = Ddosim::new(config)
+                    .expect("sweep configurations are valid")
+                    .run_to_completion();
+                results.lock().expect("no panics hold the lock")[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all threads joined")
+        .into_iter()
+        .map(|r| r.expect("every index was produced"))
+        .collect()
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// One point of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Point {
+    /// Number of Devs.
+    pub devs: usize,
+    /// Churn variant.
+    pub churn: ChurnMode,
+    /// Mean average received data rate over replicates (kbps).
+    pub avg_kbps: f64,
+    /// Mean infected count over replicates.
+    pub infected: f64,
+    /// Per-replicate results.
+    pub runs: Vec<RunResult>,
+}
+
+/// Figure 2: average received data rate vs number of Devs, for each churn
+/// level; 100-second attack (§IV-B).
+pub fn fig2(dev_counts: &[usize], replicates: u64, base_seed: u64) -> Vec<Fig2Point> {
+    let modes = [ChurnMode::None, ChurnMode::Static, ChurnMode::Dynamic];
+    let mut configs = Vec::new();
+    for &devs in dev_counts {
+        for &mode in &modes {
+            for rep in 0..replicates {
+                configs.push(
+                    SimulationBuilder::new()
+                        .devs(devs)
+                        .churn(mode)
+                        .seed(base_seed + rep)
+                        .config()
+                        .clone(),
+                );
+            }
+        }
+    }
+    let results = run_configs(configs);
+    let mut points = Vec::new();
+    let mut it = results.into_iter();
+    for &devs in dev_counts {
+        for &mode in &modes {
+            let runs: Vec<RunResult> = (&mut it).take(replicates as usize).collect();
+            points.push(Fig2Point {
+                devs,
+                churn: mode,
+                avg_kbps: mean(runs.iter().map(|r| r.avg_received_data_rate_kbps)),
+                infected: mean(runs.iter().map(|r| r.infected as f64)),
+                runs,
+            });
+        }
+    }
+    points
+}
+
+/// One point of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Point {
+    /// Number of Devs in the round.
+    pub devs: usize,
+    /// Commanded attack duration (seconds).
+    pub duration_secs: u64,
+    /// Mean average received data rate (kbps).
+    pub avg_kbps: f64,
+    /// Per-replicate results.
+    pub runs: Vec<RunResult>,
+}
+
+/// Figure 3: average received data rate vs attack duration (150/200/300 s),
+/// across rounds of 50/100/150/200 Devs (§IV-B); no churn.
+pub fn fig3(
+    dev_counts: &[usize],
+    durations_secs: &[u64],
+    replicates: u64,
+    base_seed: u64,
+) -> Vec<Fig3Point> {
+    let mut configs = Vec::new();
+    for &devs in dev_counts {
+        for &dur in durations_secs {
+            for rep in 0..replicates {
+                configs.push(
+                    SimulationBuilder::new()
+                        .devs(devs)
+                        .attack(crate::AttackSpec::udp_plain(Duration::from_secs(dur)))
+                        .seed(base_seed + rep)
+                        .config()
+                        .clone(),
+                );
+            }
+        }
+    }
+    let results = run_configs(configs);
+    let mut points = Vec::new();
+    let mut it = results.into_iter();
+    for &devs in dev_counts {
+        for &dur in durations_secs {
+            let runs: Vec<RunResult> = (&mut it).take(replicates as usize).collect();
+            points.push(Fig3Point {
+                devs,
+                duration_secs: dur,
+                avg_kbps: mean(runs.iter().map(|r| r.avg_received_data_rate_kbps)),
+                runs,
+            });
+        }
+    }
+    points
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Number of Devs.
+    pub devs: usize,
+    /// Pre-attack memory (GB).
+    pub pre_attack_mem_gb: f64,
+    /// Attack-phase memory (GB).
+    pub attack_mem_gb: f64,
+    /// Attack wall-clock, `m:ss`.
+    pub attack_time: String,
+    /// Raw attack wall-clock seconds.
+    pub attack_wall_clock_secs: f64,
+}
+
+/// Table I: hardware resources consumed vs number of Devs (20–130),
+/// 100-second attack, no churn (§IV-B).
+pub fn table1(dev_counts: &[usize], base_seed: u64) -> Vec<Table1Row> {
+    let configs: Vec<SimulationConfig> = dev_counts
+        .iter()
+        .map(|&devs| SimulationBuilder::new().devs(devs).seed(base_seed).config().clone())
+        .collect();
+    // Wall-clock is the measurement here: run sequentially so runs do not
+    // contend for cores.
+    let results: Vec<RunResult> = configs
+        .into_iter()
+        .map(|c| {
+            Ddosim::new(c)
+                .expect("table1 configurations are valid")
+                .run_to_completion()
+        })
+        .collect();
+    dev_counts
+        .iter()
+        .zip(results)
+        .map(|(&devs, r)| Table1Row {
+            devs,
+            pre_attack_mem_gb: r.pre_attack_mem_gb,
+            attack_mem_gb: r.attack_mem_gb,
+            attack_time: r.attack_time_m_ss(),
+            attack_wall_clock_secs: r.attack_wall_clock_secs,
+        })
+        .collect()
+}
+
+/// One cell of the infection-rate matrix (R1/R2).
+#[derive(Debug, Clone)]
+pub struct InfectionPoint {
+    /// Protection configuration of all Devs in the run.
+    pub protections: Protections,
+    /// Exploit strategy used by the Attacker.
+    pub strategy: crate::ExploitStrategy,
+    /// Fraction of Devs recruited.
+    pub infection_rate: f64,
+    /// Mean seconds from start to infection (recruited Devs only).
+    pub mean_time_to_infection_secs: f64,
+}
+
+/// R1/R2: infection rate by (protections × exploit strategy). The paper's
+/// headline cell is leak+rebase against random protection subsets → 100%.
+pub fn infection_matrix(devs: usize, base_seed: u64) -> Vec<InfectionPoint> {
+    let strategies = [
+        crate::ExploitStrategy::LeakRebase,
+        crate::ExploitStrategy::StaticChain,
+        crate::ExploitStrategy::CodeInjection,
+    ];
+    let mut configs = Vec::new();
+    for &p in &Protections::ALL_SUBSETS {
+        for &s in &strategies {
+            configs.push(
+                SimulationBuilder::new()
+                    .devs(devs)
+                    .protections(ProtectionMix::Uniform(p))
+                    .strategy(s)
+                    .seed(base_seed)
+                    .config()
+                    .clone(),
+            );
+        }
+    }
+    let results = run_configs(configs);
+    let mut points = Vec::new();
+    let mut it = results.into_iter();
+    for &p in &Protections::ALL_SUBSETS {
+        for &s in &strategies {
+            let r = it.next().expect("one result per cell");
+            let mean_t = mean(r.infection_times_secs.iter().copied());
+            points.push(InfectionPoint {
+                protections: p,
+                strategy: s,
+                infection_rate: r.infection_rate,
+                mean_time_to_infection_secs: mean_t,
+            });
+        }
+    }
+    points
+}
+
+/// One row of the hardening/insight ablations (§IV-C).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable ablation label.
+    pub label: String,
+    /// Infection rate achieved.
+    pub infection_rate: f64,
+    /// Average received data rate (kbps).
+    pub avg_kbps: f64,
+}
+
+/// §IV-C insight ablations: removing `curl` blocks infection; capping the
+/// device data rate caps attack magnitude.
+pub fn ablations(devs: usize, base_seed: u64) -> Vec<AblationRow> {
+    let cases: Vec<(String, SimulationConfig)> = vec![
+        (
+            "baseline (curl present, 100-500 kbps)".to_owned(),
+            SimulationBuilder::new().devs(devs).seed(base_seed).config().clone(),
+        ),
+        (
+            "vendor removes curl".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .commands(CommandSet::without(&["curl"]))
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+        (
+            "vendor removes wget (stage-2 blocked)".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .commands(CommandSet::without(&["wget"]))
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+        (
+            "device data rate capped at 100-150 kbps".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .access_rate_kbps(100..=150)
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+        (
+            "device data rate 400-500 kbps".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .access_rate_kbps(400..=500)
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+        (
+            "firmware rebuilt with stack canaries".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .protections(ProtectionMix::Uniform(Protections::HARDENED))
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+        (
+            "tiered Internet (5 regions x 5 Mbps uplinks)".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .topology(crate::TopologyKind::Tiered {
+                    regions: 5,
+                    region_uplink_bps: 5_000_000,
+                })
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ),
+    ];
+    let (labels, configs): (Vec<String>, Vec<SimulationConfig>) = cases.into_iter().unzip();
+    let results = run_configs(configs);
+    labels
+        .into_iter()
+        .zip(results)
+        .map(|(label, r)| AblationRow {
+            label,
+            infection_rate: r.infection_rate,
+            avg_kbps: r.avg_received_data_rate_kbps,
+        })
+        .collect()
+}
+
+/// Comparison of recruitment mechanisms: the paper's memory-error entry
+/// point vs the Mirai-classic credential dictionary.
+#[derive(Debug, Clone)]
+pub struct RecruitmentRow {
+    /// Mechanism label.
+    pub label: String,
+    /// Fraction of Devs recruited.
+    pub infection_rate: f64,
+    /// Average received data rate achieved by the resulting botnet (kbps).
+    pub avg_kbps: f64,
+}
+
+/// Memory-error recruitment vs credential-scanner baseline at several
+/// default-credential prevalence levels.
+pub fn recruitment_comparison(devs: usize, base_seed: u64) -> Vec<RecruitmentRow> {
+    let mut cases: Vec<(String, SimulationConfig)> = vec![(
+        "memory-error exploitation (paper)".to_owned(),
+        SimulationBuilder::new().devs(devs).seed(base_seed).config().clone(),
+    )];
+    for frac in [0.2, 0.5, 0.8] {
+        cases.push((
+            format!("credential scanner, {:.0}% default creds", frac * 100.0),
+            SimulationBuilder::new()
+                .devs(devs)
+                .recruitment(Recruitment::CredentialScanner {
+                    default_credential_fraction: frac,
+                })
+                .seed(base_seed)
+                .config()
+                .clone(),
+        ));
+    }
+    let (labels, configs): (Vec<String>, Vec<SimulationConfig>) = cases.into_iter().unzip();
+    let results = run_configs(configs);
+    labels
+        .into_iter()
+        .zip(results)
+        .map(|(label, r)| RecruitmentRow {
+            label,
+            infection_rate: r.infection_rate,
+            avg_kbps: r.avg_received_data_rate_kbps,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(devs: usize, seed: u64) -> SimulationConfig {
+        SimulationBuilder::new()
+            .devs(devs)
+            .attack(crate::AttackSpec::udp_plain(Duration::from_secs(15)))
+            .attack_at(Duration::from_secs(25))
+            .sim_time(Duration::from_secs(45))
+            .attack_ramp(Duration::from_secs(2))
+            .seed(seed)
+            .config()
+            .clone()
+    }
+
+    #[test]
+    fn run_configs_preserves_order_and_parallelizes() {
+        let configs = vec![small(2, 1), small(4, 2), small(6, 3)];
+        let results = run_configs(configs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].devs, 2);
+        assert_eq!(results[1].devs, 4);
+        assert_eq!(results[2].devs, 6);
+    }
+
+    #[test]
+    fn identical_configs_give_identical_results() {
+        let results = run_configs(vec![small(3, 9), small(3, 9)]);
+        assert_eq!(
+            results[0].avg_received_data_rate_kbps,
+            results[1].avg_received_data_rate_kbps
+        );
+        assert_eq!(results[0].packets_sent, results[1].packets_sent);
+    }
+}

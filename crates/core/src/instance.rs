@@ -1,0 +1,641 @@
+//! Assembly and execution of one DDoSim run: the Attacker, Devs, and
+//! TServer components wired over the simulated network (Fig. 1 of the
+//! paper).
+
+use crate::config::{BinaryMix, DaemonKind, Recruitment, SimulationConfig};
+use crate::metrics::{bytes_to_gb, MemoryModel, TServerSink};
+use crate::result::{ChurnSummary, RunResult};
+use attacker::{Dhcpv6Injector, ExploitForge, FileServer, MaliciousDnsServer};
+use churn::{ChurnController, ChurnMode, FanChurnModel};
+use firmware::{CommandSet, ContainerHandle, ContainerRuntime, DnsProxyDaemon, NetMgrDaemon, ServiceCore};
+use malware::{AdminConsole, CncServer, TelnetScanner, TelnetService};
+use crate::config::TopologyKind;
+use netsim::topology::{StarMember, StarTopology, TieredTopology};
+use netsim::{AppId, LinkConfig, NodeId, SimTime, Simulator};
+use protocols::{mirai_dictionary, Credential, DNS_PORT};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::{IpAddr, SocketAddr};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tinyvm::catalog;
+
+/// Base image bytes of a Dev container (OS layers + busybox), excluding the
+/// daemon binary. Calibrated so total per-Dev memory lands in the paper's
+/// ≈8.5 MB/Dev regime (Table I).
+pub const DEV_IMAGE_BASE_BYTES: u64 = 6_500_000;
+
+/// Image bytes of the Attacker container (C&C, Apache, exploit tooling).
+pub const ATTACKER_IMAGE_BYTES: u64 = 60_000_000;
+
+/// One Dev's identity and configuration within a run.
+#[derive(Debug, Clone)]
+pub struct DevInfo {
+    /// The Dev's ghost node.
+    pub node: NodeId,
+    /// IPv4 address.
+    pub addr_v4: IpAddr,
+    /// IPv6 address.
+    pub addr_v6: IpAddr,
+    /// Which daemon the Dev runs.
+    pub daemon: DaemonKind,
+    /// Memory protections of the daemon process.
+    pub protections: tinyvm::Protections,
+    /// Access-link rate in kbps.
+    pub access_rate_kbps: u64,
+    /// The Dev's container.
+    pub container: ContainerHandle,
+    /// The daemon application.
+    pub daemon_app: AppId,
+}
+
+/// The simulated-Internet fabric a run was built on.
+#[derive(Debug)]
+enum Fabric {
+    Star(StarTopology),
+    Tiered(TieredTopology),
+}
+
+impl Fabric {
+    /// The always-up root node (defense deployment point, controller host).
+    fn root(&self) -> NodeId {
+        match self {
+            Fabric::Star(s) => s.fabric(),
+            Fabric::Tiered(t) => t.backbone(),
+        }
+    }
+
+    /// Attaches a core component (Attacker, TServer, extra clients).
+    fn attach_core(&mut self, sim: &mut Simulator, node: NodeId, cfg: LinkConfig) -> StarMember {
+        match self {
+            Fabric::Star(s) => s.attach(sim, node, cfg),
+            Fabric::Tiered(t) => t.attach_backbone(sim, node, cfg),
+        }
+    }
+
+    /// Attaches the `index`-th Dev.
+    fn attach_dev(
+        &mut self,
+        sim: &mut Simulator,
+        index: usize,
+        node: NodeId,
+        cfg: LinkConfig,
+    ) -> StarMember {
+        match self {
+            Fabric::Star(s) => s.attach(sim, node, cfg),
+            Fabric::Tiered(t) => t.attach_region(sim, index, node, cfg),
+        }
+    }
+}
+
+/// A fully-assembled DDoSim instance (Attacker + Devs + TServer on the
+/// simulated network), ready to run.
+#[derive(Debug)]
+pub struct Ddosim {
+    config: SimulationConfig,
+    sim: Simulator,
+    runtime: ContainerRuntime,
+    devs: Vec<DevInfo>,
+    attacker_node: NodeId,
+    attacker_v4: IpAddr,
+    tserver_node: NodeId,
+    tserver_v4: IpAddr,
+    sink: AppId,
+    cnc: AppId,
+    dns_server: Option<AppId>,
+    dhcp_injector: Option<AppId>,
+    scanner: Option<AppId>,
+    churn_ctl: Option<AppId>,
+    memory_model: MemoryModel,
+    fabric: Fabric,
+}
+
+impl Ddosim {
+    /// Builds the instance from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the configuration is invalid.
+    pub fn new(config: SimulationConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut sim = Simulator::new(config.seed);
+        // Separate construction RNG: keeps topology sampling independent of
+        // the event-time RNG stream (same seed → same world).
+        let mut build_rng = SmallRng::seed_from_u64(config.seed ^ 0xB111D);
+        let mut fabric = match config.topology {
+            TopologyKind::Star => Fabric::Star(StarTopology::new(&mut sim, "internet")),
+            TopologyKind::Tiered {
+                regions,
+                region_uplink_bps,
+            } => Fabric::Tiered(TieredTopology::new(
+                &mut sim,
+                "internet",
+                regions,
+                LinkConfig::new(region_uplink_bps, Duration::from_millis(5))
+                    .with_queue_capacity(256 * 1024),
+            )),
+        };
+        let mut runtime = ContainerRuntime::new();
+
+        // ---- Attacker (component 1) ----
+        let attacker_node = sim.add_node("attacker");
+        let attacker_m = fabric.attach_core(
+            &mut sim,
+            attacker_node,
+            LinkConfig::new(100_000_000, Duration::from_millis(5))
+                .with_queue_capacity(1 << 20),
+        );
+        let attacker_container = runtime.create(
+            "attacker",
+            config.arch,
+            attacker_node,
+            CommandSet::standard(),
+            ATTACKER_IMAGE_BYTES,
+        );
+        attacker_container.register_proc("cnc", None, vec![protocols::CNC_PORT]);
+        attacker_container.register_proc("apache2", None, vec![protocols::HTTP_PORT]);
+
+        // ---- TServer (component 3) ----
+        let tserver_node = sim.add_node("tserver");
+        let tserver_m = fabric.attach_core(
+            &mut sim,
+            tserver_node,
+            LinkConfig::new(config.tserver_link_bps, Duration::from_millis(2))
+                .with_queue_capacity(config.tserver_queue_bytes),
+        );
+        let sink = sim.install_app(
+            tserver_node,
+            Box::new(TServerSink::new(config.attack.port)),
+        );
+
+        // ---- Attacker services ----
+        // The C&C starts now; the file server and exploit/scanner apps are
+        // installed after the Devs exist, because the served bot binaries
+        // may embed the subnet map (worm mode).
+        let cnc = sim.install_app(attacker_node, Box::new(CncServer::new()));
+        let cnc_addr = SocketAddr::new(attacker_m.addr_v4, protocols::CNC_PORT);
+        let stage1 = malware::stage1_command(attacker_m.addr_v4);
+
+        // ---- Devs (component 2) ----
+        let mut devs = Vec::with_capacity(config.devs);
+        let connman_image = Arc::new(catalog::connman_image(config.arch));
+        let dnsmasq_image = Arc::new(catalog::dnsmasq_image(config.arch));
+        let mut telnet_targets = Vec::new();
+        for i in 0..config.devs {
+            let node = sim.add_node(format!("dev-{i}"));
+            let rate_kbps = build_rng
+                .gen_range(*config.access_rate_kbps.start()..=*config.access_rate_kbps.end());
+            let member = fabric.attach_dev(
+                &mut sim,
+                i,
+                node,
+                LinkConfig::new(rate_kbps * 1000, config.access_delay),
+            );
+            let daemon = match config.binary_mix {
+                BinaryMix::ConnmanOnly => DaemonKind::Connman,
+                BinaryMix::DnsmasqOnly => DaemonKind::Dnsmasq,
+                BinaryMix::Mixed { connman_fraction } => {
+                    if build_rng.gen_bool(connman_fraction.clamp(0.0, 1.0)) {
+                        DaemonKind::Connman
+                    } else {
+                        DaemonKind::Dnsmasq
+                    }
+                }
+            };
+            let protections = config.protections.sample(&mut build_rng);
+            let image = match daemon {
+                DaemonKind::Connman => Arc::clone(&connman_image),
+                DaemonKind::Dnsmasq => Arc::clone(&dnsmasq_image),
+            };
+            let container = runtime.create(
+                format!("dev-{i}"),
+                config.arch,
+                node,
+                config.commands.clone(),
+                DEV_IMAGE_BASE_BYTES + image.size_bytes,
+            );
+            let core = ServiceCore::new(
+                container.clone(),
+                Arc::clone(&image),
+                protections,
+                image.name.clone(),
+                &mut build_rng,
+            );
+            let daemon_app = match daemon {
+                DaemonKind::Connman => sim.install_app(
+                    node,
+                    Box::new(NetMgrDaemon::new(
+                        core,
+                        SocketAddr::new(attacker_m.addr_v4, DNS_PORT),
+                        Duration::from_secs(5),
+                    )),
+                ),
+                DaemonKind::Dnsmasq => {
+                    sim.install_app(node, Box::new(DnsProxyDaemon::new(core)))
+                }
+            };
+            // Baseline / worm recruitment: Devs expose telnet, a fraction
+            // with dictionary credentials.
+            let cred_fraction = match config.recruitment {
+                Recruitment::CredentialScanner {
+                    default_credential_fraction,
+                }
+                | Recruitment::SelfPropagating {
+                    default_credential_fraction,
+                    ..
+                } => Some(default_credential_fraction),
+                Recruitment::MemoryError => None,
+            };
+            if let Some(fraction) = cred_fraction {
+                let dictionary = mirai_dictionary();
+                let credential: Option<Credential> =
+                    if build_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        let i = build_rng.gen_range(0..dictionary.len());
+                        Some(dictionary[i].clone())
+                    } else {
+                        None
+                    };
+                sim.install_app(
+                    node,
+                    Box::new(TelnetService::new(container.clone(), credential)),
+                );
+                telnet_targets.push(member.addr_v4);
+            }
+            devs.push(DevInfo {
+                node,
+                addr_v4: member.addr_v4,
+                addr_v6: member.addr_v6,
+                daemon,
+                protections,
+                access_rate_kbps: rate_kbps,
+                container,
+                daemon_app,
+            });
+        }
+
+        // ---- File server: infection script + per-arch bot binaries ----
+        let propagation = match config.recruitment {
+            Recruitment::SelfPropagating { .. } => Some(malware::PropagationConfig {
+                targets: Arc::new(devs.iter().map(|d| d.addr_v4).collect()),
+                dictionary: mirai_dictionary(),
+                payload_command: stage1.clone(),
+            }),
+            _ => None,
+        };
+        let mut served = vec![malware::infection_script(attacker_m.addr_v4)];
+        for arch in [tinyvm::Arch::X86_64, tinyvm::Arch::Arm7, tinyvm::Arch::Mips] {
+            served.push(malware::mirai_binary_file_with_propagation(
+                arch,
+                cnc_addr,
+                config.flood_rate_bps,
+                config.attack_ramp,
+                propagation.clone(),
+            ));
+        }
+        sim.install_app(attacker_node, Box::new(FileServer::new(served)));
+
+        // ---- Recruitment path ----
+        let (dns_server, dhcp_injector, scanner) = match config.recruitment {
+            Recruitment::MemoryError => {
+                let connman_forge = ExploitForge::new(
+                    Arc::new(catalog::connman_image(config.arch)),
+                    config.strategy,
+                    stage1.clone(),
+                );
+                let dnsmasq_forge = ExploitForge::new(
+                    Arc::new(catalog::dnsmasq_image(config.arch)),
+                    config.strategy,
+                    stage1.clone(),
+                );
+                let dns = sim.install_app(
+                    attacker_node,
+                    Box::new(MaliciousDnsServer::new(connman_forge)),
+                );
+                let dhcp = sim.install_app(
+                    attacker_node,
+                    Box::new(Dhcpv6Injector::new(dnsmasq_forge, Duration::from_secs(5))),
+                );
+                (Some(dns), Some(dhcp), None)
+            }
+            Recruitment::CredentialScanner { .. } => {
+                let scanner = sim.install_app(
+                    attacker_node,
+                    Box::new(TelnetScanner::new(
+                        telnet_targets,
+                        mirai_dictionary(),
+                        stage1.clone(),
+                    )),
+                );
+                (None, None, Some(scanner))
+            }
+            Recruitment::SelfPropagating { seeds, .. } => {
+                // The attacker scans only the seed devices; the worm does
+                // the rest.
+                let seed_targets: Vec<_> = telnet_targets.into_iter().take(seeds).collect();
+                let scanner = sim.install_app(
+                    attacker_node,
+                    Box::new(TelnetScanner::new(
+                        seed_targets,
+                        mirai_dictionary(),
+                        stage1.clone(),
+                    )),
+                );
+                (None, None, Some(scanner))
+            }
+        };
+
+        // ---- Reboot controller (on the always-up fabric node) ----
+        if config.reboot_rate_per_min > 0.0 {
+            sim.install_app(
+                fabric.root(),
+                Box::new(crate::reboot::RebootController::new(
+                    devs.iter().map(|d| (d.node, d.container.clone())).collect(),
+                    config.reboot_rate_per_min,
+                )),
+            );
+        }
+
+        // ---- Churn controller (on the always-up fabric node) ----
+        let churn_ctl = match config.churn {
+            ChurnMode::None => None,
+            mode => Some(sim.install_app(
+                fabric.root(),
+                Box::new(ChurnController::new(
+                    FanChurnModel::PAPER,
+                    mode,
+                    devs.iter().map(|d| d.node).collect(),
+                )),
+            )),
+        };
+
+        // ---- Attack command (telnet into the C&C, §IV-A) ----
+        let attack_target = if config.attack_over_ipv6 {
+            tserver_m.addr_v6
+        } else {
+            tserver_m.addr_v4
+        };
+        let mut command = format!(
+            "{} {} {} {}",
+            config.attack.vector,
+            attack_target,
+            config.attack.port,
+            config.attack.duration.as_secs()
+        );
+        if let Some(len) = config.attack.payload_bytes {
+            command.push_str(&format!(" {len}"));
+        }
+        let mut schedule = vec![(SimTime::ZERO + config.attack_at, command)];
+        for (at, line) in &config.admin_script {
+            schedule.push((SimTime::ZERO + *at, line.clone()));
+        }
+        sim.install_app(
+            attacker_node,
+            Box::new(AdminConsole::new(attacker_m.addr_v4, schedule)),
+        );
+
+        let mut instance = Ddosim {
+            config,
+            sim,
+            runtime,
+            devs,
+            attacker_node,
+            attacker_v4: attacker_m.addr_v4,
+            tserver_node,
+            tserver_v4: tserver_m.addr_v4,
+            sink,
+            cnc,
+            dns_server,
+            dhcp_injector,
+            scanner,
+            churn_ctl,
+            memory_model: MemoryModel::default(),
+            fabric,
+        };
+        instance.schedule_reconciler();
+        Ok(instance)
+    }
+
+    /// Attaches an extra node to the simulated Internet (e.g. a benign
+    /// client for the ML-defense use case) and returns its addresses.
+    pub fn attach_extra_node(&mut self, name: &str, link: LinkConfig) -> StarMember {
+        let node = self.sim.add_node(name);
+        self.fabric.attach_core(&mut self.sim, node, link)
+    }
+
+    /// The central fabric node (the simulated Internet / upstream router,
+    /// or the backbone in tiered mode) — where network-level defenses are
+    /// naturally deployed.
+    pub fn fabric_node(&self) -> NodeId {
+        self.fabric.root()
+    }
+
+    /// Schedules the attacker-operator reconciliation loop: every 10 s
+    /// until the attack, devices that never registered with the C&C get
+    /// their "exploited" mark cleared so the exploit exchange restarts
+    /// (covers lost exploit packets and devices that churned away
+    /// mid-infection).
+    fn schedule_reconciler(&mut self) {
+        let (Some(dns), Some(dhcp)) = (self.dns_server, self.dhcp_injector) else {
+            return;
+        };
+        let devs: Vec<(ContainerHandle, IpAddr, IpAddr)> = self
+            .devs
+            .iter()
+            .map(|d| (d.container.clone(), d.addr_v4, d.addr_v6))
+            .collect();
+        // With reboots enabled, devices become susceptible again at any
+        // point, so the operator keeps reconciling for the whole run.
+        let horizon = if self.config.reboot_rate_per_min > 0.0 {
+            self.config.sim_time
+        } else {
+            self.config.attack_at + self.config.attack.duration
+        };
+        let mut t = Duration::from_secs(10);
+        while t < horizon {
+            let devs = devs.clone();
+            self.sim.schedule_call(SimTime::ZERO + t, move |sim| {
+                for (container, v4, v6) in &devs {
+                    if !container.bot_alive() {
+                        if let Some(srv) = sim.app_mut::<MaliciousDnsServer>(dns) {
+                            srv.forget(*v4);
+                        }
+                        if let Some(inj) = sim.app_mut::<Dhcpv6Injector>(dhcp) {
+                            inj.forget(*v6);
+                        }
+                    }
+                }
+            });
+            t += Duration::from_secs(10);
+        }
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The underlying simulator (for custom instrumentation, e.g. trace
+    /// hooks for the ML-defense use case).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The Devs of this run.
+    pub fn devs(&self) -> &[DevInfo] {
+        &self.devs
+    }
+
+    /// TServer's node and IPv4 address.
+    pub fn tserver(&self) -> (NodeId, IpAddr) {
+        (self.tserver_node, self.tserver_v4)
+    }
+
+    /// The Attacker's node and IPv4 address.
+    pub fn attacker(&self) -> (NodeId, IpAddr) {
+        (self.attacker_node, self.attacker_v4)
+    }
+
+    /// The container runtime (memory accounting, infection telemetry).
+    pub fn runtime(&self) -> &ContainerRuntime {
+        &self.runtime
+    }
+
+    /// Current number of recruited Devs.
+    pub fn infected_count(&self) -> usize {
+        self.runtime.infected_count()
+    }
+
+    /// Currently connected bot count, as seen by the C&C.
+    pub fn connected_bots(&self) -> usize {
+        self.sim
+            .app_ref::<CncServer>(self.cnc)
+            .map(CncServer::bot_count)
+            .unwrap_or(0)
+    }
+
+    /// Runs until `t` of simulated time.
+    pub fn run_until(&mut self, t: Duration) {
+        self.sim.run_until(SimTime::ZERO + t);
+    }
+
+    /// Runs the full scenario (initialization → infection → attack →
+    /// drain) and collects the result, measuring per-phase wall-clock and
+    /// memory as the paper's Table I does.
+    pub fn run_to_completion(mut self) -> RunResult {
+        let attack_start = self.config.attack_at;
+        let attack_end = attack_start + self.config.attack.duration;
+        let sim_end = self.config.sim_time;
+
+        // Phase 1: initialization + infection.
+        self.run_until(attack_start);
+        let pre_attack_container_bytes = self.runtime.total_memory_bytes();
+        let pre_attack_packets = self.sim.stats().packets_sent;
+        let infected_before_attack = self.infected_count();
+        let bots_at_command = self.connected_bots();
+
+        // Phase 2: the attack window (wall-clock measured — Table I's
+        // Attack Time).
+        let wall = Instant::now();
+        self.run_until(attack_end);
+        let attack_wall_clock = wall.elapsed();
+        let attack_packets = self.sim.stats().packets_sent - pre_attack_packets;
+        let attack_container_bytes = self.runtime.total_memory_bytes();
+
+        // Phase 3: drain to the horizon.
+        self.run_until(sim_end);
+
+        self.collect(
+            pre_attack_container_bytes,
+            attack_container_bytes,
+            attack_packets,
+            attack_wall_clock,
+            infected_before_attack,
+            bots_at_command,
+        )
+    }
+
+    fn collect(
+        self,
+        pre_attack_container_bytes: u64,
+        attack_container_bytes: u64,
+        attack_packets: u64,
+        attack_wall_clock: Duration,
+        infected_before_attack: usize,
+        bots_at_command: usize,
+    ) -> RunResult {
+        let sink = self
+            .sim
+            .app_ref::<TServerSink>(self.sink)
+            .expect("sink app lives for the whole run");
+        let avg = sink.average_received_data_rate_kbps(
+            self.config.attack_at,
+            self.config.attack.duration,
+        );
+        let per_second_kbits: Vec<f64> = sink
+            .per_second_bytes
+            .iter()
+            .map(|b| *b as f64 * 8.0 / 1000.0)
+            .collect();
+        let flood_packets_received = sink.flood_packets;
+        let flood_bytes_received = sink.flood_bytes;
+
+        let cnc = self
+            .sim
+            .app_ref::<CncServer>(self.cnc)
+            .expect("C&C app lives for the whole run");
+        let churn = self.churn_ctl.and_then(|id| {
+            self.sim
+                .app_ref::<ChurnController>(id)
+                .map(|c| ChurnSummary {
+                    departures: c.departures,
+                    rejoins: c.rejoins,
+                    down_at_end: c.down_count(),
+                })
+        });
+        let scanner_summary = self.scanner.and_then(|id| {
+            self.sim
+                .app_ref::<TelnetScanner>(id)
+                .map(|s| (s.successes.len(), s.attempts))
+        });
+
+        let infection_times_secs: Vec<f64> = self
+            .runtime
+            .infection_times()
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .collect();
+
+        RunResult {
+            devs: self.config.devs,
+            churn: self.config.churn,
+            attack_duration_secs: self.config.attack.duration.as_secs(),
+            attack_at_secs: self.config.attack_at.as_secs(),
+            seed: self.config.seed,
+            avg_received_data_rate_kbps: avg,
+            per_second_kbits,
+            infected: self.runtime.infected_count(),
+            infected_before_attack,
+            bots_at_command,
+            infection_rate: self.runtime.infected_count() as f64 / self.config.devs as f64,
+            infection_times_secs,
+            peak_bots: cnc.peak_bots,
+            total_registrations: cnc.total_registrations,
+            flood_packets_received,
+            flood_bytes_received,
+            pre_attack_mem_gb: bytes_to_gb(
+                self.memory_model.pre_attack_bytes(pre_attack_container_bytes),
+            ),
+            attack_mem_gb: bytes_to_gb(
+                self.memory_model
+                    .attack_bytes(attack_container_bytes, attack_packets),
+            ),
+            attack_wall_clock_secs: attack_wall_clock.as_secs_f64(),
+            packets_sent: self.sim.stats().packets_sent,
+            packets_delivered: self.sim.stats().packets_delivered,
+            packets_dropped: self.sim.stats().total_dropped(),
+            churn_summary: churn,
+            scanner_successes: scanner_summary.map(|(s, _)| s),
+            scanner_attempts: scanner_summary.map(|(_, a)| a),
+        }
+    }
+}

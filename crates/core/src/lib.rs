@@ -1,0 +1,48 @@
+//! # ddosim-core — the DDoSim framework
+//!
+//! Assembles the paper's three components over the simulated network
+//! (Fig. 1): **Attacker** (exploit servers, file server, C&C), **Devs**
+//! (containers running vulnerable daemons), and **TServer** (the NS-3-style
+//! sink that measures the attack), then drives the full scenario:
+//! initialization → memory-error infection → Mirai recruitment → commanded
+//! UDP-PLAIN flood → measurement.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ddosim_core::{AttackSpec, SimulationBuilder};
+//! use std::time::Duration;
+//!
+//! let result = SimulationBuilder::new()
+//!     .devs(50)
+//!     .attack(AttackSpec::udp_plain(Duration::from_secs(100)))
+//!     .seed(42)
+//!     .run()
+//!     .expect("valid configuration");
+//! println!(
+//!     "average received data rate: {:.1} kbps ({}/{} Devs recruited)",
+//!     result.avg_received_data_rate_kbps, result.infected, result.devs
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiment;
+pub mod instance;
+pub mod metrics;
+pub mod reboot;
+pub mod record;
+pub mod report;
+pub mod result;
+
+pub use config::{
+    AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, SimulationBuilder,
+    SimulationConfig, TopologyKind,
+};
+pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};
+pub use metrics::{bytes_to_gb, MemoryModel, TServerSink};
+pub use reboot::RebootController;
+pub use record::{compare, load_results, save_results, Drift};
+pub use result::{ChurnSummary, RunResult};

@@ -1,0 +1,189 @@
+//! TServer measurement and the paper's metrics.
+//!
+//! [`TServerSink`] is the customized NS-3 sink application of §II-C: it
+//! records the per-second received data rate at the target server, from
+//! which Eq. 2's *average received data rate* is computed, and counts flood
+//! packets via their markers.
+
+use netsim::{Application, Ctx, Packet, SimTime};
+use protocols::FloodMarker;
+use std::time::Duration;
+
+const TIMER_SECOND: u64 = 1;
+
+/// The TServer sink application: binds the attacked port and samples the
+/// node's receive counters every simulated second.
+#[derive(Debug, Default)]
+pub struct TServerSink {
+    /// Wire bytes received in each whole second of the simulation.
+    pub per_second_bytes: Vec<u64>,
+    last_total: u64,
+    /// Flood packets recognized by their marker.
+    pub flood_packets: u64,
+    /// Flood wire bytes recognized by their marker.
+    pub flood_bytes: u64,
+    /// Time of the first flood packet, if any.
+    pub first_flood_at: Option<SimTime>,
+    bound_port: u16,
+}
+
+impl TServerSink {
+    /// Creates a sink that binds `port` (the attack target port).
+    pub fn new(port: u16) -> Self {
+        TServerSink {
+            bound_port: port,
+            ..TServerSink::default()
+        }
+    }
+
+    /// Received data rate (kbits) for second `i`, if sampled.
+    pub fn kbits_in_second(&self, i: usize) -> Option<f64> {
+        self.per_second_bytes.get(i).map(|b| *b as f64 * 8.0 / 1000.0)
+    }
+
+    /// The paper's Eq. 2: the average received data rate (kbps) over the
+    /// window `[start, start + duration)`, i.e. total kbits received over
+    /// the attack window divided by the attack duration in seconds.
+    pub fn average_received_data_rate_kbps(&self, start: Duration, duration: Duration) -> f64 {
+        let s = start.as_secs() as usize;
+        let n = duration.as_secs().max(1) as usize;
+        let total_bytes: u64 = self
+            .per_second_bytes
+            .iter()
+            .skip(s)
+            .take(n)
+            .copied()
+            .sum();
+        (total_bytes as f64 * 8.0 / 1000.0) / n as f64
+    }
+}
+
+impl Application for TServerSink {
+    fn name(&self) -> &str {
+        "tserver-sink"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.udp_bind(self.bound_port);
+        ctx.set_timer(Duration::from_secs(1), TIMER_SECOND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_SECOND {
+            return;
+        }
+        let node = ctx.node_id();
+        let total = ctx.sim().node(node).rx_bytes();
+        self.per_second_bytes.push(total - self.last_total);
+        self.last_total = total;
+        ctx.set_timer(Duration::from_secs(1), TIMER_SECOND);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        if packet.payload.get::<FloodMarker>().is_some() {
+            self.flood_packets += 1;
+            self.flood_bytes += u64::from(packet.wire_bytes());
+            if self.first_flood_at.is_none() {
+                self.first_flood_at = Some(ctx.now());
+            }
+        }
+    }
+}
+
+/// Host-memory model behind Table I.
+///
+/// The paper measures the *host's* memory while DDoSim runs: a framework
+/// base (VM, Docker daemon, NS-3), a per-container cost, and — during the
+/// attack — per-packet bookkeeping the simulator host accumulates for
+/// traffic generated during the attack ("1.79 GB extra memory to store
+/// traffic generated during the attack", §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Fixed framework footprint in bytes (VM + Docker + NS-3 core).
+    pub framework_base_bytes: u64,
+    /// Host bookkeeping charged per packet processed during the attack.
+    pub per_packet_host_bytes: u64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            framework_base_bytes: 210_000_000,
+            per_packet_host_bytes: 1024,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Pre-attack memory: framework base plus all container memory.
+    pub fn pre_attack_bytes(&self, container_bytes: u64) -> u64 {
+        self.framework_base_bytes + container_bytes
+    }
+
+    /// Attack-phase memory: pre-attack plus per-packet bookkeeping for
+    /// every packet the simulation processed during the attack window.
+    pub fn attack_bytes(&self, container_bytes: u64, attack_packets: u64) -> u64 {
+        self.pre_attack_bytes(container_bytes) + attack_packets * self.per_packet_host_bytes
+    }
+}
+
+/// Formats bytes as gigabytes with two decimals, as Table I reports.
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_averages_over_window() {
+        let sink = TServerSink {
+            per_second_bytes: vec![0, 0, 1000, 1000, 1000, 0],
+            ..TServerSink::default()
+        };
+        // Window covering seconds 2..5: 3000 bytes = 24 kbit over 3 s.
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+        );
+        assert!((avg - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_window_beyond_series_is_zero_padded() {
+        let sink = TServerSink {
+            per_second_bytes: vec![1000],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_secs(0),
+            Duration::from_secs(10),
+        );
+        assert!((avg - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_model_shapes() {
+        let m = MemoryModel::default();
+        let pre = m.pre_attack_bytes(20 * 8_500_000);
+        assert!(pre > m.framework_base_bytes);
+        let attack = m.attack_bytes(20 * 8_500_000, 1_000_000);
+        assert_eq!(attack - pre, 1_000_000 * 1024);
+    }
+
+    #[test]
+    fn gb_conversion() {
+        assert!((bytes_to_gb(380_000_000) - 0.38).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kbits_accessor() {
+        let sink = TServerSink {
+            per_second_bytes: vec![125],
+            ..TServerSink::default()
+        };
+        assert_eq!(sink.kbits_in_second(0), Some(1.0));
+        assert_eq!(sink.kbits_in_second(1), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Experiment-record persistence and regression comparison.
+//!
+//! Reproduction experiments are only useful if their outputs are recorded
+//! and comparable across code versions: [`save_results`]/[`load_results`]
+//! persist [`RunResult`] sets as JSON, and [`compare`] diffs two recordings
+//! of the same sweep, flagging metric drifts beyond a tolerance — the
+//! mechanism behind keeping EXPERIMENTS.md honest.
+
+use crate::result::RunResult;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Saves results as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Propagates I/O errors; serialization of [`RunResult`] cannot fail.
+pub fn save_results<P: AsRef<Path>>(path: P, results: &[RunResult]) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(results)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Loads results saved by [`save_results`].
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed JSON.
+pub fn load_results<P: AsRef<Path>>(path: P) -> io::Result<Vec<RunResult>> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Key identifying a run within a sweep.
+fn key(r: &RunResult) -> (usize, String, u64, u64) {
+    (r.devs, format!("{}", r.churn), r.attack_duration_secs, r.seed)
+}
+
+/// One metric drift between two recordings of the same run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Which run drifted (devs, churn, duration, seed).
+    pub run: String,
+    /// Which metric drifted.
+    pub metric: &'static str,
+    /// Value in the baseline recording.
+    pub baseline: f64,
+    /// Value in the current recording.
+    pub current: f64,
+    /// `|current − baseline| / max(|baseline|, ε)`.
+    pub relative_change: f64,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} drifted {:.1}% ({:.3} -> {:.3})",
+            self.run,
+            self.metric,
+            self.relative_change * 100.0,
+            self.baseline,
+            self.current
+        )
+    }
+}
+
+/// Compares two recordings of the same sweep; returns every metric whose
+/// relative change exceeds `tolerance` (e.g. `0.05` for 5%), plus an entry
+/// for any run present in one recording but not the other.
+pub fn compare(baseline: &[RunResult], current: &[RunResult], tolerance: f64) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    let by_key: std::collections::BTreeMap<_, &RunResult> =
+        current.iter().map(|r| (key(r), r)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for b in baseline {
+        let k = key(b);
+        let run = format!("devs={} {} {}s seed={}", k.0, k.1, k.2, k.3);
+        let Some(c) = by_key.get(&k) else {
+            drifts.push(Drift {
+                run,
+                metric: "missing in current recording",
+                baseline: 1.0,
+                current: 0.0,
+                relative_change: 1.0,
+            });
+            continue;
+        };
+        seen.insert(k);
+        let metrics: [(&'static str, f64, f64); 4] = [
+            (
+                "avg_received_data_rate_kbps",
+                b.avg_received_data_rate_kbps,
+                c.avg_received_data_rate_kbps,
+            ),
+            ("infection_rate", b.infection_rate, c.infection_rate),
+            (
+                "flood_packets_received",
+                b.flood_packets_received as f64,
+                c.flood_packets_received as f64,
+            ),
+            ("peak_bots", b.peak_bots as f64, c.peak_bots as f64),
+        ];
+        for (metric, bv, cv) in metrics {
+            let rel = (cv - bv).abs() / bv.abs().max(1e-9);
+            if rel > tolerance {
+                drifts.push(Drift {
+                    run: run.clone(),
+                    metric,
+                    baseline: bv,
+                    current: cv,
+                    relative_change: rel,
+                });
+            }
+        }
+    }
+    for c in current {
+        let k = key(c);
+        if !seen.contains(&k) && !baseline.iter().any(|b| key(b) == k) {
+            drifts.push(Drift {
+                run: format!("devs={} {} {}s seed={}", k.0, k.1, k.2, k.3),
+                metric: "missing in baseline recording",
+                baseline: 0.0,
+                current: 1.0,
+                relative_change: 1.0,
+            });
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackSpec, SimulationBuilder};
+    use std::time::Duration;
+
+    fn tiny(seed: u64) -> RunResult {
+        SimulationBuilder::new()
+            .devs(3)
+            .attack(AttackSpec::udp_plain(Duration::from_secs(10)))
+            .attack_at(Duration::from_secs(25))
+            .sim_time(Duration::from_secs(40))
+            .attack_ramp(Duration::from_secs(1))
+            .seed(seed)
+            .run()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let results = vec![tiny(1), tiny(2)];
+        let path = std::env::temp_dir().join("ddosim_record_test.json");
+        save_results(&path, &results).expect("writes");
+        let loaded = load_results(&path).expect("reads");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded[0].avg_received_data_rate_kbps,
+            results[0].avg_received_data_rate_kbps
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn identical_recordings_have_no_drift() {
+        let results = vec![tiny(1)];
+        assert!(compare(&results, &results, 0.01).is_empty());
+    }
+
+    #[test]
+    fn drifted_metric_is_flagged() {
+        let baseline = vec![tiny(1)];
+        let mut current = baseline.clone();
+        current[0].avg_received_data_rate_kbps *= 1.5;
+        let drifts = compare(&baseline, &current, 0.05);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "avg_received_data_rate_kbps");
+        assert!((drifts[0].relative_change - 0.5).abs() < 1e-9);
+        assert!(drifts[0].to_string().contains("drifted 50.0%"));
+    }
+
+    #[test]
+    fn missing_runs_are_flagged_both_ways() {
+        let a = vec![tiny(1), tiny(2)];
+        let b = vec![tiny(1)];
+        let d = compare(&a, &b, 0.01);
+        assert!(d.iter().any(|x| x.metric.contains("missing in current")));
+        let d = compare(&b, &a, 0.01);
+        assert!(d.iter().any(|x| x.metric.contains("missing in baseline")));
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text and CSV rendering of experiment outputs.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with a CSV twin.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "| {:<w$} ", cell, w = widths[i]);
+            }
+            s.push('|');
+            s
+        };
+        let header = line(&self.headers, &widths);
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["devs", "kbps"]);
+        t.push_row(vec!["10".into(), "1234.5".into()]);
+        t.push_row(vec!["150".into(), "9.0".into()]);
+        let s = t.render();
+        assert!(s.contains("# Demo"));
+        assert!(s.contains("| devs | kbps"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["v,1".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"v,1\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn fmt_f_digits() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

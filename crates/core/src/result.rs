@@ -1,0 +1,207 @@
+//! Results of a DDoSim run.
+
+use churn::ChurnMode;
+use serde::{Deserialize, Serialize};
+
+/// Churn telemetry of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSummary {
+    /// Devices that left the network.
+    pub departures: u64,
+    /// Devices that rejoined.
+    pub rejoins: u64,
+    /// Devices down at the end of the run.
+    pub down_at_end: usize,
+}
+
+mod churn_mode_serde {
+    use super::ChurnMode;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(mode: &ChurnMode, s: S) -> Result<S::Ok, S::Error> {
+        let tag = match mode {
+            ChurnMode::None => "none",
+            ChurnMode::Static => "static",
+            ChurnMode::Dynamic => "dynamic",
+        };
+        tag.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ChurnMode, D::Error> {
+        let tag = String::deserialize(d)?;
+        match tag.as_str() {
+            "none" => Ok(ChurnMode::None),
+            "static" => Ok(ChurnMode::Static),
+            "dynamic" => Ok(ChurnMode::Dynamic),
+            other => Err(serde::de::Error::custom(format!("unknown churn mode {other}"))),
+        }
+    }
+}
+
+/// Everything one DDoSim run produces — the paper's measurements plus
+/// internal telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Number of Devs configured.
+    pub devs: usize,
+    /// Churn variant.
+    #[serde(with = "churn_mode_serde")]
+    pub churn: ChurnMode,
+    /// Commanded attack duration (seconds).
+    pub attack_duration_secs: u64,
+    /// When the attack command was issued (seconds).
+    pub attack_at_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Eq. 2: the average received data rate at TServer over the attack
+    /// window, in kbps.
+    pub avg_received_data_rate_kbps: f64,
+    /// Per-second received data rate series at TServer (kbits/s).
+    pub per_second_kbits: Vec<f64>,
+    /// Devs recruited (C&C-registered at least once).
+    pub infected: usize,
+    /// Devs recruited before the attack command.
+    pub infected_before_attack: usize,
+    /// Bots connected at the moment the attack command was issued.
+    pub bots_at_command: usize,
+    /// Infection rate (R2: the paper reports 100%).
+    pub infection_rate: f64,
+    /// First-infection times per Dev, in seconds (botnet growth curve).
+    pub infection_times_secs: Vec<f64>,
+    /// Peak simultaneous bots at the C&C.
+    pub peak_bots: usize,
+    /// Total C&C registrations (re-registrations after churn included).
+    pub total_registrations: u64,
+    /// Flood packets received by the TServer sink (by marker).
+    pub flood_packets_received: u64,
+    /// Flood wire bytes received by the TServer sink.
+    pub flood_bytes_received: u64,
+    /// Table I: pre-attack host memory (GB).
+    pub pre_attack_mem_gb: f64,
+    /// Table I: attack-phase host memory (GB).
+    pub attack_mem_gb: f64,
+    /// Table I: wall-clock seconds spent simulating the attack window.
+    pub attack_wall_clock_secs: f64,
+    /// Total packets handed to the network.
+    pub packets_sent: u64,
+    /// Total packets delivered.
+    pub packets_delivered: u64,
+    /// Total packets dropped (all causes).
+    pub packets_dropped: u64,
+    /// Churn telemetry, when churn was enabled.
+    pub churn_summary: Option<ChurnSummary>,
+    /// Credential-scanner baseline: devices compromised.
+    pub scanner_successes: Option<usize>,
+    /// Credential-scanner baseline: credential attempts.
+    pub scanner_attempts: Option<u64>,
+}
+
+impl RunResult {
+    /// Formats the attack wall-clock as the paper's `m:ss`.
+    pub fn attack_time_m_ss(&self) -> String {
+        let total = self.attack_wall_clock_secs.round() as u64;
+        format!("{}:{:02}", total / 60, total % 60)
+    }
+
+    /// Average received data rate expressed in Mbps.
+    pub fn avg_received_data_rate_mbps(&self) -> f64 {
+        self.avg_received_data_rate_kbps / 1000.0
+    }
+
+    /// Quantile (`0.0..=1.0`) of time-to-infection among recruited Devs,
+    /// in seconds; `None` if no Dev was recruited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn time_to_infect_quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.infection_times_secs.is_empty() {
+            return None;
+        }
+        let mut times = self.infection_times_secs.clone();
+        times.sort_by(f64::total_cmp);
+        let idx = ((times.len() - 1) as f64 * q).round() as usize;
+        Some(times[idx])
+    }
+
+    /// Peak per-second received data rate (kbits/s) over the whole run.
+    pub fn peak_received_kbits(&self) -> f64 {
+        self.per_second_kbits.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            devs: 10,
+            churn: ChurnMode::Dynamic,
+            attack_duration_secs: 100,
+            attack_at_secs: 60,
+            seed: 1,
+            avg_received_data_rate_kbps: 2500.0,
+            per_second_kbits: vec![0.0, 100.0],
+            infected: 10,
+            infected_before_attack: 10,
+            bots_at_command: 10,
+            infection_rate: 1.0,
+            infection_times_secs: vec![4.5],
+            peak_bots: 10,
+            total_registrations: 10,
+            flood_packets_received: 1000,
+            flood_bytes_received: 540_000,
+            pre_attack_mem_gb: 0.38,
+            attack_mem_gb: 0.39,
+            attack_wall_clock_secs: 123.4,
+            packets_sent: 1,
+            packets_delivered: 1,
+            packets_dropped: 0,
+            churn_summary: Some(ChurnSummary {
+                departures: 2,
+                rejoins: 1,
+                down_at_end: 1,
+            }),
+            scanner_successes: None,
+            scanner_attempts: None,
+        }
+    }
+
+    #[test]
+    fn attack_time_formats_like_the_paper() {
+        assert_eq!(result().attack_time_m_ss(), "2:03");
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        assert!((result().avg_received_data_rate_mbps() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infection_quantiles() {
+        let mut r = result();
+        r.infection_times_secs = vec![1.0, 2.0, 3.0, 4.0, 10.0];
+        assert_eq!(r.time_to_infect_quantile(0.0), Some(1.0));
+        assert_eq!(r.time_to_infect_quantile(0.5), Some(3.0));
+        assert_eq!(r.time_to_infect_quantile(1.0), Some(10.0));
+        r.infection_times_secs.clear();
+        assert_eq!(r.time_to_infect_quantile(0.5), None);
+    }
+
+    #[test]
+    fn peak_rate() {
+        assert_eq!(result().peak_received_kbits(), 100.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = result();
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: RunResult = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.devs, r.devs);
+        assert_eq!(back.churn, ChurnMode::Dynamic);
+        assert_eq!(back.churn_summary, r.churn_summary);
+    }
+}

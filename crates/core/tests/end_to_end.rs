@@ -1,0 +1,24 @@
+//! End-to-end smoke tests of the full DDoSim pipeline.
+
+use ddosim_core::{AttackSpec, SimulationBuilder};
+use std::time::Duration;
+
+#[test]
+fn five_devs_get_infected_and_flood() {
+    let result = SimulationBuilder::new()
+        .devs(5)
+        .attack(AttackSpec::udp_plain(Duration::from_secs(20)))
+        .attack_at(Duration::from_secs(30))
+        .sim_time(Duration::from_secs(60))
+        .attack_ramp(Duration::from_secs(2))
+        .seed(1)
+        .run()
+        .expect("valid config");
+    eprintln!("infected={} bots_at_command={} avg={} flood_pkts={}",
+        result.infected, result.bots_at_command,
+        result.avg_received_data_rate_kbps, result.flood_packets_received);
+    assert_eq!(result.infected, 5, "100% infection (R2)");
+    assert_eq!(result.bots_at_command, 5);
+    assert!(result.flood_packets_received > 0, "flood reached TServer");
+    assert!(result.avg_received_data_rate_kbps > 100.0);
+}

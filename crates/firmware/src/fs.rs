@@ -1,0 +1,295 @@
+//! The container's in-memory filesystem.
+//!
+//! Holds the files the infection chain manipulates: the downloaded shell
+//! script, the architecture-specific malware binary (`wget`/`chmod`/exec),
+//! and its deletion afterwards (Mirai removes its binary on startup).
+
+use netsim::{Application, Ctx};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use tinyvm::Arch;
+
+/// A shell script: a sequence of command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellScript {
+    /// Command lines executed in order.
+    pub lines: Vec<String>,
+}
+
+impl ShellScript {
+    /// Creates a script from lines.
+    pub fn new<I, S>(lines: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ShellScript {
+            lines: lines.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Approximate byte size of the script text.
+    pub fn byte_size(&self) -> u64 {
+        self.lines.iter().map(|l| l.len() as u64 + 1).sum()
+    }
+}
+
+/// Environment handed to a program launcher when a file is executed.
+#[derive(Debug)]
+pub struct LaunchEnv {
+    /// Path the program was executed from.
+    pub exec_path: String,
+    /// Architecture of the host container.
+    pub host_arch: Arch,
+    /// Process-table id assigned to the new program.
+    pub pid: crate::proc::Pid,
+    /// The container the program runs in.
+    pub container: crate::container::ContainerHandle,
+}
+
+/// Factory invoked when an executable file runs; returns the application
+/// embodying the program (e.g. the Mirai bot).
+///
+/// `Send + Sync` so executables can travel inside packet payloads (file
+/// downloads); the closure should capture only plain configuration.
+pub type ProgramLauncher = Arc<dyn Fn(&mut Ctx<'_>, LaunchEnv) -> Box<dyn Application> + Send + Sync>;
+
+/// A file as served by the Attacker's HTTP file server: the path it is
+/// published under plus its contents.
+#[derive(Debug, Clone)]
+pub struct ServedFile {
+    /// Published path (e.g. `/bins/mirai.x86`).
+    pub path: String,
+    /// File contents and metadata.
+    pub entry: FileEntry,
+}
+
+/// What a file contains.
+#[derive(Clone)]
+pub enum FileKind {
+    /// Plain data.
+    Data,
+    /// A shell script.
+    Script(ShellScript),
+    /// An executable for `arch`; running it spawns the launcher's app.
+    Executable {
+        /// Architecture the binary was compiled for.
+        arch: Arch,
+        /// Factory producing the program's behaviour.
+        launcher: ProgramLauncher,
+    },
+}
+
+impl fmt::Debug for FileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileKind::Data => f.write_str("Data"),
+            FileKind::Script(s) => f.debug_tuple("Script").field(&s.lines.len()).finish(),
+            FileKind::Executable { arch, .. } => {
+                f.debug_struct("Executable").field("arch", arch).finish()
+            }
+        }
+    }
+}
+
+/// One file: contents kind, size, and mode.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    /// Contents.
+    pub kind: FileKind,
+    /// Size in bytes (drives memory accounting and download timing).
+    pub size_bytes: u64,
+    /// Whether the execute bit is set.
+    pub executable: bool,
+}
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file at the path.
+    NotFound(String),
+    /// The file is not executable (missing chmod +x).
+    NotExecutable(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::NotExecutable(p) => write!(f, "permission denied: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A flat in-memory filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use firmware::{FileEntry, FileKind, SimFs};
+///
+/// let mut fs = SimFs::new();
+/// fs.write("/tmp/mirai", FileEntry {
+///     kind: FileKind::Data,
+///     size_bytes: 121_000,
+///     executable: false,
+/// });
+/// assert!(fs.resolve_executable("/tmp/mirai").is_err()); // needs chmod +x
+/// fs.chmod_exec("/tmp/mirai")?;
+/// assert!(fs.resolve_executable("/tmp/mirai").is_ok());
+/// # Ok::<(), firmware::FsError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SimFs {
+    files: BTreeMap<String, FileEntry>,
+}
+
+impl SimFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        SimFs::default()
+    }
+
+    /// Writes (or replaces) a file.
+    pub fn write(&mut self, path: impl Into<String>, entry: FileEntry) {
+        self.files.insert(path.into(), entry);
+    }
+
+    /// Reads a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the path does not exist.
+    pub fn read(&self, path: &str) -> Result<&FileEntry, FsError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))
+    }
+
+    /// Marks a file executable (`chmod +x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the path does not exist.
+    pub fn chmod_exec(&mut self, path: &str) -> Result<(), FsError> {
+        let entry = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
+        entry.executable = true;
+        Ok(())
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Removes every file under `prefix` (e.g. `/tmp/` on reboot — tmpfs
+    /// contents are volatile); returns how many were removed.
+    pub fn remove_prefix(&mut self, prefix: &str) -> usize {
+        let before = self.files.len();
+        self.files.retain(|path, _| !path.starts_with(prefix));
+        before - self.files.len()
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Resolves an executable for running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if missing, [`FsError::NotExecutable`]
+    /// if the execute bit is not set.
+    pub fn resolve_executable(&self, path: &str) -> Result<&FileEntry, FsError> {
+        let entry = self.read(path)?;
+        if !entry.executable {
+            return Err(FsError::NotExecutable(path.to_owned()));
+        }
+        Ok(entry)
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.size_bytes).sum()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(bytes: u64) -> FileEntry {
+        FileEntry {
+            kind: FileKind::Data,
+            size_bytes: bytes,
+            executable: false,
+        }
+    }
+
+    #[test]
+    fn write_read_remove() {
+        let mut fs = SimFs::new();
+        fs.write("/tmp/a", data(10));
+        assert!(fs.exists("/tmp/a"));
+        assert_eq!(fs.read("/tmp/a").expect("exists").size_bytes, 10);
+        assert!(fs.remove("/tmp/a"));
+        assert!(!fs.remove("/tmp/a"));
+        assert_eq!(fs.read("/tmp/a").unwrap_err(), FsError::NotFound("/tmp/a".into()));
+    }
+
+    #[test]
+    fn chmod_gates_execution() {
+        let mut fs = SimFs::new();
+        fs.write("/tmp/bot", data(100));
+        assert_eq!(
+            fs.resolve_executable("/tmp/bot").unwrap_err(),
+            FsError::NotExecutable("/tmp/bot".into())
+        );
+        fs.chmod_exec("/tmp/bot").expect("exists");
+        assert!(fs.resolve_executable("/tmp/bot").is_ok());
+    }
+
+    #[test]
+    fn chmod_missing_file_errors() {
+        let mut fs = SimFs::new();
+        assert!(matches!(fs.chmod_exec("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_prefix_clears_tmpfs() {
+        let mut fs = SimFs::new();
+        fs.write("/tmp/a", data(1));
+        fs.write("/tmp/b", data(2));
+        fs.write("/etc/config", data(3));
+        assert_eq!(fs.remove_prefix("/tmp/"), 2);
+        assert!(!fs.exists("/tmp/a"));
+        assert!(fs.exists("/etc/config"));
+    }
+
+    #[test]
+    fn total_bytes_sums_files() {
+        let mut fs = SimFs::new();
+        fs.write("/a", data(10));
+        fs.write("/b", data(32));
+        assert_eq!(fs.total_bytes(), 42);
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn script_byte_size_counts_newlines() {
+        let s = ShellScript::new(["ab", "c"]);
+        assert_eq!(s.byte_size(), 5);
+    }
+}

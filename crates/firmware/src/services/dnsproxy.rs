@@ -1,0 +1,89 @@
+//! The Dnsmasq-like DNS/DHCP daemon (`dnsmasq`).
+
+use super::{ServiceCore, OPTION_LEAK_PROBE, OPTION_LEAK_VALUE};
+use netsim::packet::all_dhcp_agents_v6;
+use netsim::{Application, Ctx, Packet, Payload};
+use protocols::{Dhcpv6Kind, Dhcpv6Message, Dhcpv6Option, DHCPV6_SERVER_PORT, OPTION_RELAY_MSG};
+
+const TIMER_RESTART: u64 = 21;
+
+/// The Dnsmasq-like daemon: listens on the DHCPv6 server port, joins the
+/// `ff02::1:2` multicast group, and parses RELAY-FORW options through the
+/// vulnerable copy path.
+///
+/// Leak probes (option [`OPTION_LEAK_PROBE`]) are answered with a unicast
+/// ADVERTISE carrying the leaked address — the attacker then sends a
+/// per-device rebased exploit.
+#[derive(Debug)]
+pub struct DnsProxyDaemon {
+    core: ServiceCore,
+    /// RELAY-FORW messages seen (telemetry).
+    pub relay_messages_seen: u64,
+}
+
+impl DnsProxyDaemon {
+    /// Creates the daemon.
+    pub fn new(core: ServiceCore) -> Self {
+        DnsProxyDaemon {
+            core,
+            relay_messages_seen: 0,
+        }
+    }
+
+    /// Telemetry access to the service core.
+    pub fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+}
+
+impl Application for DnsProxyDaemon {
+    fn name(&self) -> &str {
+        "dnsmasq"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core
+            .container()
+            .register_proc("dnsmasq", Some(ctx.app_id()), vec![DHCPV6_SERVER_PORT]);
+        let _ = ctx.udp_bind(DHCPV6_SERVER_PORT);
+        ctx.join_multicast(all_dhcp_agents_v6());
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_RESTART {
+            self.core.restart(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        let Some(msg) = packet.payload.get::<Dhcpv6Message>() else {
+            return;
+        };
+        if msg.kind != Dhcpv6Kind::RelayForw {
+            return;
+        }
+        self.relay_messages_seen += 1;
+        let transaction_id = msg.transaction_id;
+        let probe = msg.option(OPTION_LEAK_PROBE).is_some();
+        let relay_data = msg.option(OPTION_RELAY_MSG).map(|o| o.data.clone());
+        if probe {
+            if let Some(addr) = self.core.leak() {
+                let reply = Dhcpv6Message::new(Dhcpv6Kind::Advertise, transaction_id)
+                    .with_option(Dhcpv6Option::new(
+                        OPTION_LEAK_VALUE,
+                        addr.to_le_bytes().to_vec(),
+                    ));
+                let bytes = reply.wire_size();
+                let _ = ctx.udp_send(
+                    DHCPV6_SERVER_PORT,
+                    packet.src,
+                    Payload::new(reply),
+                    bytes,
+                );
+            }
+        }
+        if let Some(data) = relay_data {
+            self.core.deliver(ctx, &data, TIMER_RESTART);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The Connman-like network manager daemon (`connmand`).
+
+use super::{leak_query_name, ServiceCore, RTYPE_LEAK_PROBE};
+use netsim::{Application, Ctx, Packet, Payload};
+use protocols::DnsMessage;
+use rand::Rng;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TIMER_QUERY: u64 = 10;
+const TIMER_RESTART: u64 = 11;
+
+/// The Connman-like daemon: a DNS client whose response parser overflows.
+///
+/// The paper configures Devs to use the Attacker's malicious DNS server
+/// (§V-C acknowledges this as a simplification of DNS hijacking); queries
+/// flow every few seconds, and each response's records pass through the
+/// vulnerable stack-buffer copy.
+#[derive(Debug)]
+pub struct NetMgrDaemon {
+    core: ServiceCore,
+    dns_server: SocketAddr,
+    query_interval: Duration,
+    local_port: u16,
+    next_id: u16,
+    /// DNS queries sent (telemetry).
+    pub queries_sent: u64,
+}
+
+impl NetMgrDaemon {
+    /// Creates the daemon; it will resolve against `dns_server`.
+    pub fn new(core: ServiceCore, dns_server: SocketAddr, query_interval: Duration) -> Self {
+        NetMgrDaemon {
+            core,
+            dns_server,
+            query_interval,
+            local_port: 0,
+            next_id: 1,
+            queries_sent: 0,
+        }
+    }
+
+    /// Telemetry access to the service core.
+    pub fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+
+    fn send_query(&mut self, ctx: &mut Ctx<'_>, name: String) {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let msg = DnsMessage::Query { id, name };
+        let bytes = msg.wire_size();
+        if ctx
+            .udp_send(self.local_port, self.dns_server, Payload::new(msg), bytes)
+            .is_ok()
+        {
+            self.queries_sent += 1;
+        }
+    }
+}
+
+impl Application for NetMgrDaemon {
+    fn name(&self) -> &str {
+        "connmand"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core
+            .container()
+            .register_proc("connmand", Some(ctx.app_id()), vec![]);
+        self.local_port = ctx.udp_bind_ephemeral();
+        let jitter = Duration::from_millis(ctx.rng().gen_range(0..2000));
+        ctx.set_timer(jitter, TIMER_QUERY);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TIMER_QUERY => {
+                if ctx.node_is_up() && self.core.process().is_alive() {
+                    self.send_query(ctx, "pool.ntp.org".to_owned());
+                }
+                let jitter = Duration::from_millis(ctx.rng().gen_range(0..500));
+                ctx.set_timer(self.query_interval + jitter, TIMER_QUERY);
+            }
+            TIMER_RESTART => self.core.restart(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        let Some(msg) = packet.payload.get::<DnsMessage>() else {
+            return;
+        };
+        let DnsMessage::Response { answers, .. } = msg else {
+            return;
+        };
+        // Clone out what we react to before touching &mut self state.
+        let mut leak_requested = false;
+        let mut exploit_payloads: Vec<Vec<u8>> = Vec::new();
+        for record in answers {
+            if record.rtype == RTYPE_LEAK_PROBE {
+                leak_requested = true;
+            } else {
+                exploit_payloads.push(record.data.clone());
+            }
+        }
+        if leak_requested {
+            if let Some(addr) = self.core.leak() {
+                self.send_query(ctx, leak_query_name(addr));
+            }
+        }
+        for data in exploit_payloads {
+            self.core.deliver(ctx, &data, TIMER_RESTART);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The application trait.
+//!
+//! An [`Application`] is a state machine installed on a node — the analogue
+//! of a process inside a Docker container, or an NS-3 `Application`. It
+//! reacts to lifecycle callbacks, inbound packets, connection events, and
+//! timers, and acts on the world through the [`Ctx`] handle.
+//!
+//! [`Ctx`]: crate::sim::Ctx
+
+use crate::packet::Packet;
+use crate::sim::Ctx;
+use crate::tcp::TcpEvent;
+use std::any::Any;
+
+/// A simulated application (process) running on a node.
+///
+/// All methods have no-op defaults so implementations only override the
+/// callbacks they care about. Applications are also [`Any`] so the host
+/// program can downcast them after (or during) a run to read results — e.g.
+/// the TServer sink exposes its per-second byte counters this way.
+pub trait Application: Any {
+    /// Short human-readable name (shown in traces and process tables).
+    fn name(&self) -> &str {
+        "app"
+    }
+
+    /// Called once when the application starts (node boot or dynamic spawn).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each UDP packet delivered to a port this app has bound.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &Packet) {
+        let _ = (ctx, packet);
+    }
+
+    /// Called for tcp-lite connection events owned by this app.
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        let _ = (ctx, event);
+    }
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    ///
+    /// [`Ctx::set_timer`]: crate::sim::Ctx::set_timer
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called when this app's node goes down (churn departure). Transport
+    /// state has already been torn down.
+    fn on_node_down(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when this app's node comes back up (churn rejoin).
+    fn on_node_up(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// A no-op application, useful as a placeholder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullApp;
+
+impl Application for NullApp {
+    fn name(&self) -> &str {
+        "null"
+    }
+}

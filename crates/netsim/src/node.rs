@@ -1,0 +1,247 @@
+//! Nodes, interfaces, and routing.
+
+use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// How an interface is attached to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// One side of a point-to-point link.
+    P2p {
+        /// The link.
+        link: LinkId,
+        /// Which endpoint of the link this interface is (0 or 1).
+        side: usize,
+    },
+    /// A station on a shared Wi-Fi-like channel.
+    Wifi {
+        /// The channel.
+        channel: ChannelId,
+        /// Station index within the channel.
+        station: usize,
+    },
+}
+
+/// A network interface installed on a node.
+#[derive(Debug)]
+pub struct Iface {
+    pub(crate) node: NodeId,
+    pub(crate) addrs: Vec<IpAddr>,
+    pub(crate) attachment: Option<Attachment>,
+    /// IPv6/IPv4 multicast groups this interface has joined.
+    pub(crate) multicast_groups: Vec<IpAddr>,
+}
+
+impl Iface {
+    /// The node that owns this interface.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Addresses assigned to this interface.
+    pub fn addrs(&self) -> &[IpAddr] {
+        &self.addrs
+    }
+
+    /// How the interface is attached, if at all.
+    pub fn attachment(&self) -> Option<Attachment> {
+        self.attachment
+    }
+}
+
+/// A static route: destination prefix → egress interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Prefix base address.
+    pub prefix: IpAddr,
+    /// Prefix length in bits.
+    pub prefix_len: u8,
+    /// Interface packets matching the prefix leave through.
+    pub iface: IfaceId,
+}
+
+impl Route {
+    /// Whether `addr` falls inside this route's prefix. Addresses of a
+    /// different family never match.
+    pub fn matches(&self, addr: IpAddr) -> bool {
+        prefix_contains(self.prefix, self.prefix_len, addr)
+    }
+}
+
+/// Whether `addr` is inside `prefix/len`.
+pub fn prefix_contains(prefix: IpAddr, len: u8, addr: IpAddr) -> bool {
+    match (prefix, addr) {
+        (IpAddr::V4(p), IpAddr::V4(a)) => {
+            let len = u32::from(len).min(32);
+            if len == 0 {
+                return true;
+            }
+            let mask = u32::MAX << (32 - len);
+            (u32::from(p) & mask) == (u32::from(a) & mask)
+        }
+        (IpAddr::V6(p), IpAddr::V6(a)) => {
+            let len = u32::from(len).min(128);
+            if len == 0 {
+                return true;
+            }
+            let mask = u128::MAX << (128 - len);
+            (u128::from(p) & mask) == (u128::from(a) & mask)
+        }
+        _ => false,
+    }
+}
+
+/// A simulated node: a host, router, or container ghost node.
+#[derive(Debug)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) up: bool,
+    /// Whether the node forwards unicast packets not addressed to it.
+    pub(crate) forwarding: bool,
+    /// Whether the node relays multicast out of all other interfaces
+    /// (models the LAN fabric / DHCPv6 relay behaviour of the simulated
+    /// Internet segment in the paper's topology).
+    pub(crate) forward_multicast: bool,
+    pub(crate) ifaces: Vec<IfaceId>,
+    pub(crate) routes: Vec<Route>,
+    pub(crate) udp_binds: HashMap<u16, AppId>,
+    pub(crate) next_ephemeral_port: u16,
+    /// Packets received and addressed to this node (any transport).
+    pub(crate) rx_packets: u64,
+    /// Wire bytes received and addressed to this node.
+    pub(crate) rx_bytes: u64,
+}
+
+impl Node {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        Node {
+            name: name.into(),
+            up: true,
+            forwarding: false,
+            forward_multicast: false,
+            ifaces: Vec::new(),
+            routes: Vec::new(),
+            udp_binds: HashMap::new(),
+            next_ephemeral_port: 49152,
+            rx_packets: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// Packets received and addressed to this node (any transport, bound
+    /// port or not) — what a Wireshark capture at the node would count.
+    pub fn rx_packets(&self) -> u64 {
+        self.rx_packets
+    }
+
+    /// Wire bytes received and addressed to this node.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the node is up (participating in the network).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Interfaces installed on this node.
+    pub fn ifaces(&self) -> &[IfaceId] {
+        &self.ifaces
+    }
+
+    /// Longest-prefix-match route lookup.
+    pub fn route_for(&self, dst: IpAddr) -> Option<Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.matches(dst))
+            .max_by_key(|r| r.prefix_len)
+            .copied()
+    }
+
+    pub(crate) fn alloc_ephemeral_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_ephemeral_port;
+            self.next_ephemeral_port = if p == u16::MAX { 49152 } else { p + 1 };
+            if !self.udp_binds.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn v4(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(a, b, c, d))
+    }
+
+    #[test]
+    fn prefix_match_v4() {
+        assert!(prefix_contains(v4(10, 0, 0, 0), 8, v4(10, 1, 2, 3)));
+        assert!(!prefix_contains(v4(10, 0, 0, 0), 8, v4(11, 1, 2, 3)));
+        assert!(prefix_contains(v4(10, 0, 1, 0), 24, v4(10, 0, 1, 200)));
+        assert!(!prefix_contains(v4(10, 0, 1, 0), 24, v4(10, 0, 2, 1)));
+        // Zero-length prefix matches everything in-family.
+        assert!(prefix_contains(v4(0, 0, 0, 0), 0, v4(192, 168, 1, 1)));
+    }
+
+    #[test]
+    fn prefix_match_v6() {
+        let p = IpAddr::V6(Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 0));
+        let inside = IpAddr::V6(Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 0x42));
+        let outside = IpAddr::V6(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 1));
+        assert!(prefix_contains(p, 16, inside));
+        assert!(!prefix_contains(p, 16, outside));
+    }
+
+    #[test]
+    fn prefix_never_matches_cross_family() {
+        let p6 = IpAddr::V6(Ipv6Addr::UNSPECIFIED);
+        assert!(!prefix_contains(p6, 0, v4(1, 2, 3, 4)));
+        assert!(!prefix_contains(v4(0, 0, 0, 0), 0, p6));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut n = Node::new("r");
+        n.routes.push(Route {
+            prefix: v4(10, 0, 0, 0),
+            prefix_len: 8,
+            iface: IfaceId::from_index(0),
+        });
+        n.routes.push(Route {
+            prefix: v4(10, 0, 5, 0),
+            prefix_len: 24,
+            iface: IfaceId::from_index(1),
+        });
+        assert_eq!(
+            n.route_for(v4(10, 0, 5, 9)).map(|r| r.iface),
+            Some(IfaceId::from_index(1))
+        );
+        assert_eq!(
+            n.route_for(v4(10, 0, 6, 9)).map(|r| r.iface),
+            Some(IfaceId::from_index(0))
+        );
+        assert!(n.route_for(v4(192, 168, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn ephemeral_ports_skip_bound() {
+        let mut n = Node::new("h");
+        n.udp_binds.insert(49152, AppId {
+            node: NodeId::from_index(0),
+            slot: 0,
+        });
+        assert_eq!(n.alloc_ephemeral_port(), 49153);
+        assert_eq!(n.alloc_ephemeral_port(), 49154);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulated time.
+//!
+//! The simulator clock is a monotonically non-decreasing [`SimTime`] measured
+//! in nanoseconds since the start of the simulation. Durations use
+//! [`std::time::Duration`] so callers can write `Duration::from_secs(100)`
+//! naturally.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(250);
+/// assert_eq!(t.as_secs_f64(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable simulated time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time: {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// This time expressed in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time expressed in whole seconds (truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Saturating subtraction of another time, yielding a duration.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_to_nanos(d)))
+    }
+}
+
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.saturating_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Computes the serialization delay of `bytes` bytes on a link of
+/// `rate_bps` bits per second.
+///
+/// # Panics
+///
+/// Panics if `rate_bps` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::time::tx_delay;
+/// use std::time::Duration;
+///
+/// // 1250 bytes at 1 Mbps = 10 ms.
+/// assert_eq!(tx_delay(1250, 1_000_000), Duration::from_millis(10));
+/// ```
+pub fn tx_delay(bytes: u64, rate_bps: u64) -> Duration {
+    assert!(rate_bps > 0, "link rate must be positive");
+    let bits = bytes as u128 * 8;
+    let nanos = bits * 1_000_000_000 / rate_bps as u128;
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3000));
+        assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5000));
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn sub_yields_duration() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a - b, Duration::from_secs(3));
+        // Saturating: no underflow.
+        assert_eq!(b - a, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn tx_delay_basic() {
+        // 100 kbps, 12500 bytes => 1 s
+        assert_eq!(tx_delay(12_500, 100_000), Duration::from_secs(1));
+        assert_eq!(tx_delay(0, 100_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+}

@@ -1,0 +1,132 @@
+//! DHCPv6 messages.
+//!
+//! The Dnsmasq exploit path (CVE-2017-14493 analogue) sends a crafted
+//! RELAY-FORW message to the IPv6 All_DHCP_Relay_Agents_and_Servers
+//! multicast group; the vulnerable daemon overflows a stack buffer while
+//! handling the relay message's link address options.
+
+use std::fmt;
+
+/// DHCPv6 client port (servers/relays listen on 547, clients on 546).
+pub const DHCPV6_SERVER_PORT: u16 = 547;
+/// DHCPv6 client port.
+pub const DHCPV6_CLIENT_PORT: u16 = 546;
+
+/// One DHCPv6 option (code + raw data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dhcpv6Option {
+    /// Option code.
+    pub code: u16,
+    /// Raw option data.
+    pub data: Vec<u8>,
+}
+
+impl Dhcpv6Option {
+    /// Creates an option.
+    pub fn new(code: u16, data: Vec<u8>) -> Self {
+        Dhcpv6Option { code, data }
+    }
+
+    /// Bytes on the wire (code + length + data).
+    pub fn wire_size(&self) -> u32 {
+        4 + self.data.len() as u32
+    }
+}
+
+/// DHCPv6 message kinds relevant to the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dhcpv6Kind {
+    /// Client solicitation.
+    Solicit,
+    /// Server advertisement.
+    Advertise,
+    /// Relay-forward (the vulnerable handling path in Dnsmasq).
+    RelayForw,
+    /// Relay-reply.
+    RelayRepl,
+}
+
+impl fmt::Display for Dhcpv6Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dhcpv6Kind::Solicit => "SOLICIT",
+            Dhcpv6Kind::Advertise => "ADVERTISE",
+            Dhcpv6Kind::RelayForw => "RELAY-FORW",
+            Dhcpv6Kind::RelayRepl => "RELAY-REPL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A DHCPv6 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dhcpv6Message {
+    /// Message kind.
+    pub kind: Dhcpv6Kind,
+    /// Transaction id (24 bits in reality).
+    pub transaction_id: u32,
+    /// Options carried by the message.
+    pub options: Vec<Dhcpv6Option>,
+}
+
+impl Dhcpv6Message {
+    /// Creates a message with no options.
+    pub fn new(kind: Dhcpv6Kind, transaction_id: u32) -> Self {
+        Dhcpv6Message {
+            kind,
+            transaction_id,
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds an option (builder style).
+    pub fn with_option(mut self, option: Dhcpv6Option) -> Self {
+        self.options.push(option);
+        self
+    }
+
+    /// Looks up the first option with `code`.
+    pub fn option(&self, code: u16) -> Option<&Dhcpv6Option> {
+        self.options.iter().find(|o| o.code == code)
+    }
+
+    /// Bytes on the wire: 4-byte header (+ 34 bytes of relay addresses for
+    /// relay messages) plus options.
+    pub fn wire_size(&self) -> u32 {
+        let header = match self.kind {
+            Dhcpv6Kind::RelayForw | Dhcpv6Kind::RelayRepl => 34,
+            _ => 4,
+        };
+        header + self.options.iter().map(Dhcpv6Option::wire_size).sum::<u32>()
+    }
+}
+
+/// Option code used by the exploit to smuggle its overflow payload
+/// (modelled after OPTION_RELAY_MSG = 9).
+pub const OPTION_RELAY_MSG: u16 = 9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_messages_have_bigger_headers() {
+        let s = Dhcpv6Message::new(Dhcpv6Kind::Solicit, 1);
+        let r = Dhcpv6Message::new(Dhcpv6Kind::RelayForw, 1);
+        assert!(r.wire_size() > s.wire_size());
+    }
+
+    #[test]
+    fn options_add_size_and_are_findable() {
+        let m = Dhcpv6Message::new(Dhcpv6Kind::RelayForw, 2)
+            .with_option(Dhcpv6Option::new(OPTION_RELAY_MSG, vec![0xCC; 300]));
+        assert!(m.wire_size() > 300);
+        assert_eq!(m.option(OPTION_RELAY_MSG).map(|o| o.data.len()), Some(300));
+        assert!(m.option(99).is_none());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(Dhcpv6Kind::RelayForw.to_string(), "RELAY-FORW");
+    }
+}

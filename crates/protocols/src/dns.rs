@@ -1,0 +1,157 @@
+//! DNS messages.
+//!
+//! The Connman exploit path (CVE-2017-12865 analogue) delivers its payload
+//! inside an oversized DNS response: the vulnerable daemon copies a response
+//! record into a fixed-size stack buffer. These types model queries and
+//! responses with realistic wire sizes; record data carries the raw exploit
+//! bytes.
+
+use std::fmt;
+
+/// Approximate DNS header size on the wire.
+pub const DNS_HEADER_BYTES: u32 = 12;
+
+/// One resource record in a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// Record owner name.
+    pub name: String,
+    /// Record type (1 = A, 28 = AAAA, 16 = TXT...).
+    pub rtype: u16,
+    /// Raw record data. The exploit places its overflow payload here.
+    pub data: Vec<u8>,
+}
+
+impl DnsRecord {
+    /// An IPv4 address record.
+    pub fn a(name: impl Into<String>, octets: [u8; 4]) -> Self {
+        DnsRecord {
+            name: name.into(),
+            rtype: 1,
+            data: octets.to_vec(),
+        }
+    }
+
+    /// A record carrying arbitrary bytes (e.g. an exploit payload).
+    pub fn raw(name: impl Into<String>, rtype: u16, data: Vec<u8>) -> Self {
+        DnsRecord {
+            name: name.into(),
+            rtype,
+            data,
+        }
+    }
+
+    /// Bytes this record occupies on the wire.
+    pub fn wire_size(&self) -> u32 {
+        // name + type/class/ttl/rdlength (10) + rdata
+        self.name.len() as u32 + 2 + 10 + self.data.len() as u32
+    }
+}
+
+/// A DNS message: query or response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsMessage {
+    /// A query for `name`.
+    Query {
+        /// Transaction id.
+        id: u16,
+        /// Queried name.
+        name: String,
+    },
+    /// A response to a query.
+    Response {
+        /// Transaction id (matches the query).
+        id: u16,
+        /// Queried name.
+        name: String,
+        /// Answer records.
+        answers: Vec<DnsRecord>,
+    },
+}
+
+impl DnsMessage {
+    /// The transaction id.
+    pub fn id(&self) -> u16 {
+        match self {
+            DnsMessage::Query { id, .. } | DnsMessage::Response { id, .. } => *id,
+        }
+    }
+
+    /// The queried name.
+    pub fn name(&self) -> &str {
+        match self {
+            DnsMessage::Query { name, .. } | DnsMessage::Response { name, .. } => name,
+        }
+    }
+
+    /// Bytes this message occupies on the wire.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            DnsMessage::Query { name, .. } => DNS_HEADER_BYTES + name.len() as u32 + 2 + 4,
+            DnsMessage::Response { name, answers, .. } => {
+                DNS_HEADER_BYTES
+                    + name.len() as u32
+                    + 2
+                    + 4
+                    + answers.iter().map(DnsRecord::wire_size).sum::<u32>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for DnsMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsMessage::Query { id, name } => write!(f, "dns query #{id} {name}"),
+            DnsMessage::Response { id, name, answers } => {
+                write!(f, "dns response #{id} {name} ({} answers)", answers.len())
+            }
+        }
+    }
+}
+
+/// The standard DNS port.
+pub const DNS_PORT: u16 = 53;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_size_tracks_name() {
+        let short = DnsMessage::Query { id: 1, name: "a.io".into() };
+        let long = DnsMessage::Query { id: 1, name: "very-long-domain-name.example.com".into() };
+        assert!(long.wire_size() > short.wire_size());
+        assert!(short.wire_size() > DNS_HEADER_BYTES);
+    }
+
+    #[test]
+    fn response_size_includes_answers() {
+        let q = DnsMessage::Query { id: 7, name: "x.io".into() };
+        let r = DnsMessage::Response {
+            id: 7,
+            name: "x.io".into(),
+            answers: vec![DnsRecord::a("x.io", [10, 0, 0, 1])],
+        };
+        assert!(r.wire_size() > q.wire_size());
+    }
+
+    #[test]
+    fn oversized_record_inflates_wire_size() {
+        let payload = vec![0x41u8; 600];
+        let r = DnsMessage::Response {
+            id: 1,
+            name: "t.io".into(),
+            answers: vec![DnsRecord::raw("t.io", 16, payload)],
+        };
+        assert!(r.wire_size() > 600);
+    }
+
+    #[test]
+    fn accessors() {
+        let q = DnsMessage::Query { id: 3, name: "n".into() };
+        assert_eq!(q.id(), 3);
+        assert_eq!(q.name(), "n");
+        assert_eq!(q.to_string(), "dns query #3 n");
+    }
+}

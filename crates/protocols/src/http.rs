@@ -1,0 +1,106 @@
+//! Minimal HTTP messages for the Attacker's file server.
+//!
+//! The infection chain downloads a shell script and an architecture-specific
+//! malware binary over HTTP (`curl -s URL | sh`, then `wget`/`curl` of the
+//! bot binary), exactly as the paper's Apache-based File Server serves them.
+
+use netsim::Payload;
+use std::fmt;
+
+/// The standard HTTP port.
+pub const HTTP_PORT: u16 = 80;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (GET in this reproduction).
+    pub method: String,
+    /// Requested path, e.g. `/bins/mirai.x86`.
+    pub path: String,
+}
+
+impl HttpRequest {
+    /// A GET request for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        HttpRequest {
+            method: "GET".to_owned(),
+            path: path.into(),
+        }
+    }
+
+    /// Approximate bytes on the wire (request line + minimal headers).
+    pub fn wire_size(&self) -> u32 {
+        (self.method.len() + self.path.len() + 64) as u32
+    }
+}
+
+impl fmt::Display for HttpRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.method, self.path)
+    }
+}
+
+/// An HTTP response. The body is a typed simulation payload with a declared
+/// size (the file's bytes are simulated, not encoded).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Typed body (e.g. a `firmware` file object).
+    pub body: Payload,
+    /// Declared body size in bytes.
+    pub body_bytes: u32,
+}
+
+impl HttpResponse {
+    /// A 200 OK response carrying `body` of `body_bytes` bytes.
+    pub fn ok(body: Payload, body_bytes: u32) -> Self {
+        HttpResponse {
+            status: 200,
+            body,
+            body_bytes,
+        }
+    }
+
+    /// A 404 Not Found response.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            body: Payload::empty(),
+            body_bytes: 0,
+        }
+    }
+
+    /// Whether the status indicates success.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Approximate bytes on the wire (status line + headers + body).
+    pub fn wire_size(&self) -> u32 {
+        96 + self.body_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_builds_requests() {
+        let r = HttpRequest::get("/bins/mirai.x86");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.to_string(), "GET /bins/mirai.x86");
+        assert!(r.wire_size() > 64);
+    }
+
+    #[test]
+    fn responses_carry_sized_bodies() {
+        let ok = HttpResponse::ok(Payload::new("script"), 1024);
+        assert!(ok.is_ok());
+        assert_eq!(ok.wire_size(), 96 + 1024);
+        let nf = HttpResponse::not_found();
+        assert!(!nf.is_ok());
+        assert_eq!(nf.body_bytes, 0);
+    }
+}

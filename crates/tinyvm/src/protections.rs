@@ -1,0 +1,135 @@
+//! Memory protections: W⊕X and ASLR.
+//!
+//! The paper's attack model (§III-B): Devs enable "some subset" of W⊕X and
+//! ASLR, so the Attacker cannot inject code or reuse libc wholesale, but can
+//! build ROP chains from binary knowledge. [`Protections`] captures one
+//! device's configuration; [`ProtectionMix`] describes a population.
+
+use rand::Rng;
+use std::fmt;
+
+/// Memory protections enabled on one device.
+///
+/// W⊕X and ASLR are the paper's attack-model subsets (§III-B). Stack
+/// canaries are an *extension* of this reproduction: the kind of
+/// "reasonable security level" the legislation the paper cites would
+/// mandate, and the mitigation that defeats even the leak+rebase exploit
+/// (the overflow is detected before the corrupted return address is used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Protections {
+    /// W⊕X (write XOR execute): memory is writable or executable, never
+    /// both — blocks stack shellcode.
+    pub wx: bool,
+    /// ASLR: the load address is randomized per process — static ROP chains
+    /// crash unless the attacker first leaks the slide.
+    pub aslr: bool,
+    /// Stack canary (`-fstack-protector`): a secret guard value between
+    /// the buffer and the saved return address; any linear overflow is
+    /// detected at function exit and aborts the process.
+    pub canary: bool,
+}
+
+impl Protections {
+    /// No protections.
+    pub const NONE: Protections = Protections { wx: false, aslr: false, canary: false };
+    /// W⊕X only.
+    pub const WX: Protections = Protections { wx: true, aslr: false, canary: false };
+    /// ASLR only.
+    pub const ASLR: Protections = Protections { wx: false, aslr: true, canary: false };
+    /// W⊕X + ASLR (the strongest configuration in the paper's model).
+    pub const FULL: Protections = Protections { wx: true, aslr: true, canary: false };
+    /// W⊕X + ASLR + stack canary (the hardening extension).
+    pub const HARDENED: Protections = Protections { wx: true, aslr: true, canary: true };
+
+    /// The paper's four W⊕X/ASLR subsets (no canary).
+    pub const ALL_SUBSETS: [Protections; 4] =
+        [Protections::NONE, Protections::WX, Protections::ASLR, Protections::FULL];
+}
+
+impl fmt::Display for Protections {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match (self.wx, self.aslr) {
+            (false, false) => "none",
+            (true, false) => "w^x",
+            (false, true) => "aslr",
+            (true, true) => "w^x+aslr",
+        };
+        if self.canary {
+            if self.wx || self.aslr {
+                write!(f, "{base}+canary")
+            } else {
+                f.write_str("canary")
+            }
+        } else {
+            f.write_str(base)
+        }
+    }
+}
+
+/// How protections are distributed across a population of Devs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ProtectionMix {
+    /// Every device uses the same configuration.
+    Uniform(Protections),
+    /// Each device draws a uniformly random subset of {W⊕X, ASLR} — the
+    /// paper's "different memory protection levels".
+    #[default]
+    RandomSubsets,
+}
+
+impl ProtectionMix {
+    /// Samples the protections for one device.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Protections {
+        match self {
+            ProtectionMix::Uniform(p) => *p,
+            ProtectionMix::RandomSubsets => Protections {
+                wx: rng.gen_bool(0.5),
+                aslr: rng.gen_bool(0.5),
+                canary: false,
+            },
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn display_covers_all_subsets() {
+        let names: Vec<String> = Protections::ALL_SUBSETS
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(names, vec!["none", "w^x", "aslr", "w^x+aslr"]);
+        assert_eq!(Protections::HARDENED.to_string(), "w^x+aslr+canary");
+        assert_eq!(
+            Protections { canary: true, ..Protections::NONE }.to_string(),
+            "canary"
+        );
+    }
+
+    #[test]
+    fn uniform_mix_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mix = ProtectionMix::Uniform(Protections::FULL);
+        for _ in 0..10 {
+            assert_eq!(mix.sample(&mut rng), Protections::FULL);
+        }
+    }
+
+    #[test]
+    fn random_mix_hits_every_subset_eventually() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mix = ProtectionMix::RandomSubsets;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

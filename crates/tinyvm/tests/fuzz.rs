@@ -1,0 +1,106 @@
+//! Property-based robustness tests for the memory-error machine: whatever
+//! bytes arrive, the model must stay total (no panics) and must never leak
+//! execution capability it shouldn't.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tinyvm::{catalog, Arch, DeliveryOutcome, Protections, RopChainBuilder, VulnProcess};
+
+proptest! {
+    /// deliver_input is total: any input, any image, any protections.
+    #[test]
+    fn deliver_never_panics(
+        input in proptest::collection::vec(any::<u8>(), 0..8192),
+        seed in any::<u64>(),
+        wx in any::<bool>(),
+        aslr in any::<bool>(),
+        canary in any::<bool>(),
+        dnsmasq in any::<bool>(),
+    ) {
+        let image = if dnsmasq {
+            Arc::new(catalog::dnsmasq_image(Arch::X86_64))
+        } else {
+            Arc::new(catalog::connman_image(Arch::X86_64))
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = VulnProcess::start(image, Protections { wx, aslr, canary }, &mut rng);
+        let _ = p.deliver_input(&input);
+        // And again on the (possibly dead) process.
+        let _ = p.deliver_input(&input);
+    }
+
+    /// A canaried process never reaches chain execution, whatever arrives.
+    #[test]
+    fn canary_blocks_all_hijacks(
+        input in proptest::collection::vec(any::<u8>(), 0..4096),
+        seed in any::<u64>(),
+    ) {
+        let image = Arc::new(catalog::connman_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = VulnProcess::start(
+            image,
+            Protections { wx: false, aslr: false, canary: true },
+            &mut rng,
+        );
+        let out = p.deliver_input(&input);
+        prop_assert!(
+            !out.is_exec() && !matches!(out, DeliveryOutcome::Blocked(_)),
+            "canaried daemon must only handle or crash: {out:?}"
+        );
+    }
+
+    /// Chain description never panics and mentions every word.
+    #[test]
+    fn describe_is_total(slide_pages in 0u64..0xFFFF, cmd in "[ -~]{1,48}") {
+        let image = catalog::dnsmasq_image(Arch::X86_64);
+        let slide = slide_pages * 0x1000;
+        if let Ok(chain) = RopChainBuilder::new(&image, slide).execlp(&cmd) {
+            let text = chain.describe(&image, slide);
+            let annotated_lines = text.lines().filter(|l| l.trim_start().starts_with('[')).count();
+            prop_assert_eq!(annotated_lines, chain.words.len(), "one line per word");
+        }
+    }
+
+    /// Restart always revives the process; under ASLR the slide space is
+    /// large enough that repeated restarts rarely repeat (no assertion on
+    /// inequality — just totality and liveness).
+    #[test]
+    fn restart_revives(seed in any::<u64>()) {
+        let image = Arc::new(catalog::connman_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = VulnProcess::start(Arc::clone(&image), Protections::ASLR, &mut rng);
+        // Kill it with a garbage overflow.
+        let garbage = vec![0xEEu8; image.vuln.ra_offset() + 16];
+        let _ = p.deliver_input(&garbage);
+        prop_assert!(!p.is_alive());
+        p.restart(&mut rng);
+        prop_assert!(p.is_alive());
+        prop_assert!(matches!(p.deliver_input(b"ok"), DeliveryOutcome::Handled));
+    }
+}
+
+#[test]
+fn slides_are_page_aligned_and_nonzero_under_aslr() {
+    let image = Arc::new(catalog::connman_image(Arch::X86_64));
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let p = VulnProcess::start(Arc::clone(&image), Protections::ASLR, &mut rng);
+        assert_ne!(p.slide(), 0);
+        assert_eq!(p.slide() % 0x1000, 0, "page-aligned slide");
+    }
+}
+
+#[test]
+fn repeated_restarts_rerandomize() {
+    let image = Arc::new(catalog::connman_image(Arch::X86_64));
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut p = VulnProcess::start(Arc::clone(&image), Protections::ASLR, &mut rng);
+    let mut slides = std::collections::HashSet::new();
+    for _ in 0..50 {
+        slides.insert(p.slide());
+        p.restart(&mut rng);
+    }
+    assert!(slides.len() > 40, "slides should rarely repeat: {}", slides.len());
+}

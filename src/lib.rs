@@ -1,0 +1,19 @@
+//! # ddosim — facade crate
+//!
+//! Re-exports the whole DDoSim reproduction under one roof. See the
+//! README for the architecture and `ddosim_core` for the main entry point
+//! ([`SimulationBuilder`]).
+
+#![warn(missing_docs)]
+
+pub use ddosim_core::*;
+
+pub use analysis;
+pub use attacker;
+pub use churn;
+pub use firmware;
+pub use malware;
+pub use netsim;
+pub use protocols;
+pub use testbed;
+pub use tinyvm;

@@ -1,0 +1,199 @@
+//! `ddosim` — command-line front-end for single simulation runs.
+//!
+//! ```sh
+//! ddosim --devs 100 --churn dynamic --duration 100 --seed 42
+//! ddosim --devs 50 --recruitment worm:1.0:1 --json
+//! ```
+
+use churn::ChurnMode;
+use ddosim::{AttackSpec, Recruitment, SimulationBuilder};
+use protocols::AttackVector;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+ddosim — memory-error IoT botnet DDoS simulation (DSN'23 reproduction)
+
+USAGE:
+    ddosim [OPTIONS]
+
+OPTIONS:
+    --devs <N>                number of Devs (default 25)
+    --churn <MODE>            none | static | dynamic (default none)
+    --vector <V>              udpplain | udp | syn | ack | greip (default udpplain)
+    --duration <SECS>         attack duration (default 100)
+    --attack-at <SECS>        when the C&C issues the attack (default 60)
+    --sim-time <SECS>         simulation horizon (default 600)
+    --payload <BYTES>         flood payload size (default: vector default)
+    --access-rate <LO-HI>     Dev uplink range in kbps (default 100-500)
+    --recruitment <R>         memory-error (default)
+                              | scanner:<cred-fraction>
+                              | worm:<cred-fraction>:<seeds>
+    --topology <T>            star (default) | tiered:<regions>:<uplink-bps>
+    --reboot-rate <R>         per-device reboots per minute (default 0)
+    --strategy <S>            leak-rebase | static-chain | code-injection
+    --seed <N>                RNG seed (default 42)
+    --json                    emit the full RunResult as JSON
+    -h, --help                show this help
+";
+
+fn parse_args(args: &[String]) -> Result<(SimulationBuilder, bool), String> {
+    let mut builder = SimulationBuilder::new().devs(25);
+    let mut duration = Duration::from_secs(100);
+    let mut vector = AttackVector::UdpPlain;
+    let mut payload: Option<u32> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--devs" => builder = builder.devs(value("--devs")?.parse().map_err(|e| format!("--devs: {e}"))?),
+            "--churn" => {
+                builder = builder.churn(match value("--churn")?.as_str() {
+                    "none" => ChurnMode::None,
+                    "static" => ChurnMode::Static,
+                    "dynamic" => ChurnMode::Dynamic,
+                    other => return Err(format!("unknown churn mode: {other}")),
+                })
+            }
+            "--vector" => {
+                let v = value("--vector")?;
+                vector = AttackVector::parse(&v).ok_or(format!("unknown vector: {v}"))?;
+            }
+            "--duration" => {
+                duration = Duration::from_secs(
+                    value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--attack-at" => {
+                builder = builder.attack_at(Duration::from_secs(
+                    value("--attack-at")?.parse().map_err(|e| format!("--attack-at: {e}"))?,
+                ))
+            }
+            "--sim-time" => {
+                builder = builder.sim_time(Duration::from_secs(
+                    value("--sim-time")?.parse().map_err(|e| format!("--sim-time: {e}"))?,
+                ))
+            }
+            "--payload" => {
+                payload = Some(value("--payload")?.parse().map_err(|e| format!("--payload: {e}"))?)
+            }
+            "--access-rate" => {
+                let v = value("--access-rate")?;
+                let (lo, hi) = v
+                    .split_once('-')
+                    .ok_or_else(|| "expected LO-HI, e.g. 100-500".to_owned())?;
+                let lo: u64 = lo.parse().map_err(|e| format!("--access-rate: {e}"))?;
+                let hi: u64 = hi.parse().map_err(|e| format!("--access-rate: {e}"))?;
+                builder = builder.access_rate_kbps(lo..=hi);
+            }
+            "--recruitment" => {
+                let v = value("--recruitment")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let r = match parts.as_slice() {
+                    ["memory-error"] => Recruitment::MemoryError,
+                    ["scanner", f] => Recruitment::CredentialScanner {
+                        default_credential_fraction: f
+                            .parse()
+                            .map_err(|e| format!("--recruitment scanner: {e}"))?,
+                    },
+                    ["worm", f, s] => Recruitment::SelfPropagating {
+                        default_credential_fraction: f
+                            .parse()
+                            .map_err(|e| format!("--recruitment worm: {e}"))?,
+                        seeds: s.parse().map_err(|e| format!("--recruitment worm: {e}"))?,
+                    },
+                    _ => return Err(format!("unknown recruitment spec: {v}")),
+                };
+                builder = builder.recruitment(r);
+            }
+            "--strategy" => {
+                builder = builder.strategy(match value("--strategy")?.as_str() {
+                    "leak-rebase" => ddosim::ExploitStrategy::LeakRebase,
+                    "static-chain" => ddosim::ExploitStrategy::StaticChain,
+                    "code-injection" => ddosim::ExploitStrategy::CodeInjection,
+                    other => return Err(format!("unknown strategy: {other}")),
+                })
+            }
+            "--topology" => {
+                let v = value("--topology")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let t = match parts.as_slice() {
+                    ["star"] => ddosim::TopologyKind::Star,
+                    ["tiered", r, bps] => ddosim::TopologyKind::Tiered {
+                        regions: r.parse().map_err(|e| format!("--topology: {e}"))?,
+                        region_uplink_bps: bps.parse().map_err(|e| format!("--topology: {e}"))?,
+                    },
+                    _ => return Err(format!("unknown topology spec: {v}")),
+                };
+                builder = builder.topology(t);
+            }
+            "--reboot-rate" => {
+                builder = builder.reboot_rate_per_min(
+                    value("--reboot-rate")?.parse().map_err(|e| format!("--reboot-rate: {e}"))?,
+                )
+            }
+            "--seed" => builder = builder.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--json" => json = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    builder = builder.attack(AttackSpec {
+        vector,
+        duration,
+        payload_bytes: payload,
+        port: 80,
+    });
+    Ok((builder, json))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (builder, json) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match builder.run() {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("invalid configuration: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        match serde_json::to_string_pretty(&result) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "devs={} recruited={} ({:.0}%)  bots@command={}  avg={:.1} kbps  \
+             flood_rx={} pkts  pre/attack mem={:.2}/{:.2} GB  attack wall={}",
+            result.devs,
+            result.infected,
+            result.infection_rate * 100.0,
+            result.bots_at_command,
+            result.avg_received_data_rate_kbps,
+            result.flood_packets_received,
+            result.pre_attack_mem_gb,
+            result.attack_mem_gb,
+            result.attack_time_m_ss(),
+        );
+    }
+    ExitCode::SUCCESS
+}

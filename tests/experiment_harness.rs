@@ -1,0 +1,114 @@
+//! Smoke tests of the experiment-sweep functions themselves (miniature
+//! sizes — the `ddosim-bench` binaries run the paper-scale versions).
+
+use ddosim::experiment::{
+    ablations, fig2, fig3, infection_matrix, recruitment_comparison, table1,
+};
+use ddosim::{AttackSpec, Recruitment, SimulationBuilder, TopologyKind};
+use std::time::Duration;
+
+#[test]
+fn fig2_sweep_produces_one_point_per_cell() {
+    let points = fig2(&[2, 4], 1, 77);
+    assert_eq!(points.len(), 2 * 3, "dev counts × churn modes");
+    for p in &points {
+        assert_eq!(p.runs.len(), 1);
+        assert!(p.infected > 0.0, "devs={} {}", p.devs, p.churn);
+    }
+    // More devices, more traffic (within each churn mode).
+    let none: Vec<&_> = points.iter().filter(|p| p.churn == churn::ChurnMode::None).collect();
+    assert!(none[1].avg_kbps > none[0].avg_kbps);
+}
+
+#[test]
+fn fig3_sweep_is_grouped_by_round() {
+    let points = fig3(&[3], &[150, 300], 1, 78);
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0].devs, 3);
+    assert_eq!(points[0].duration_secs, 150);
+    assert_eq!(points[1].duration_secs, 300);
+}
+
+#[test]
+fn table1_rows_are_monotone_in_memory() {
+    let rows = table1(&[2, 6], 79);
+    assert_eq!(rows.len(), 2);
+    assert!(rows[1].pre_attack_mem_gb > rows[0].pre_attack_mem_gb);
+    assert!(rows[0].attack_mem_gb >= rows[0].pre_attack_mem_gb);
+    assert!(!rows[0].attack_time.is_empty());
+}
+
+#[test]
+fn infection_matrix_covers_all_cells() {
+    let points = infection_matrix(3, 80);
+    assert_eq!(points.len(), 4 * 3, "protection subsets × strategies");
+    // The paper's cell: leak+rebase on the full subset is 100%.
+    let headline = points
+        .iter()
+        .find(|p| {
+            p.protections == tinyvm::Protections::FULL
+                && p.strategy == ddosim::ExploitStrategy::LeakRebase
+        })
+        .expect("cell exists");
+    assert_eq!(headline.infection_rate, 1.0);
+}
+
+#[test]
+fn ablations_include_the_curl_and_canary_rows() {
+    let rows = ablations(3, 81);
+    let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+    assert!(labels.iter().any(|l| l.contains("removes curl")));
+    assert!(labels.iter().any(|l| l.contains("canaries")));
+    assert!(labels.iter().any(|l| l.contains("tiered")));
+    let no_curl = rows.iter().find(|r| r.label.contains("removes curl")).expect("row");
+    assert_eq!(no_curl.infection_rate, 0.0);
+}
+
+#[test]
+fn recruitment_comparison_orders_by_prevalence() {
+    let rows = recruitment_comparison(6, 82);
+    assert_eq!(rows[0].infection_rate, 1.0, "memory error recruits all");
+    // Scanner rows are <= 100% (Bernoulli draws make exact values noisy).
+    for r in &rows[1..] {
+        assert!(r.infection_rate <= 1.0);
+    }
+}
+
+#[test]
+fn kitchen_sink_every_feature_at_once() {
+    // Worm recruitment + dynamic churn + reboots + tiered topology +
+    // an early-stopped SYN flood over IPv6: nothing panics, the books
+    // balance, and the botnet still forms.
+    let r = SimulationBuilder::new()
+        .devs(15)
+        .recruitment(Recruitment::SelfPropagating {
+            default_credential_fraction: 1.0,
+            seeds: 2,
+        })
+        .churn(churn::ChurnMode::Dynamic)
+        .reboot_rate_per_min(0.5)
+        .topology(TopologyKind::Tiered {
+            regions: 3,
+            region_uplink_bps: 8_000_000,
+        })
+        .attack_over_ipv6(true)
+        .attack(AttackSpec {
+            vector: protocols::AttackVector::Syn,
+            duration: Duration::from_secs(30),
+            payload_bytes: None,
+            port: 80,
+        })
+        .admin_command(Duration::from_secs(110), "stop")
+        .attack_at(Duration::from_secs(90))
+        .sim_time(Duration::from_secs(150))
+        .seed(83)
+        .run()
+        .expect("valid configuration");
+    assert!(r.infected >= 12, "the worm spreads despite churn/reboots: {}", r.infected);
+    assert_eq!(
+        r.packets_sent,
+        r.packets_delivered + r.packets_dropped,
+        "conservation holds under every feature"
+    );
+    assert!(r.avg_received_data_rate_kbps > 0.0, "SYN segments reach TServer over IPv6");
+}

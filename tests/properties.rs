@@ -1,0 +1,134 @@
+//! Property-based tests of core invariants (proptest).
+
+use churn::FanChurnModel;
+use ddosim::report::Table;
+use netsim::node::prefix_contains;
+use netsim::SimTime;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tinyvm::{catalog, Arch, DeliveryOutcome, Protections, RopChainBuilder, VulnProcess};
+
+proptest! {
+    /// Random network garbage never grants code execution — only chains
+    /// that resolve real gadget addresses do. (The probability of randomly
+    /// hitting a valid slid gadget address or the live stack window is
+    /// negligible; `Exec` on random input would mean the exploit model
+    /// leaks capability.)
+    #[test]
+    fn random_input_never_execs(input in proptest::collection::vec(any::<u8>(), 0..2048), seed in any::<u64>()) {
+        let image = Arc::new(catalog::connman_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = VulnProcess::start(image, Protections::FULL, &mut rng);
+        let outcome = p.deliver_input(&input);
+        prop_assert!(!outcome.is_exec(), "random input execed: {outcome:?}");
+    }
+
+    /// The patched image is invulnerable to *any* input.
+    #[test]
+    fn patched_image_never_hijacked(input in proptest::collection::vec(any::<u8>(), 0..4096), seed in any::<u64>()) {
+        let image = Arc::new(catalog::patched_connman_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = VulnProcess::start(image, Protections::NONE, &mut rng);
+        let outcome = p.deliver_input(&input);
+        prop_assert!(
+            matches!(outcome, DeliveryOutcome::Handled),
+            "patched daemon must treat any input as data, got {outcome:?}"
+        );
+    }
+
+    /// The builder's chain always works when built with the process's true
+    /// slide — the attacker's knowledge assumption of the paper.
+    #[test]
+    fn correctly_rebased_chain_always_execs(seed in any::<u64>(), wx in any::<bool>(), aslr in any::<bool>()) {
+        let image = Arc::new(catalog::dnsmasq_image(Arch::X86_64));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let protections = Protections { wx, aslr, canary: false };
+        let mut p = VulnProcess::start(Arc::clone(&image), protections, &mut rng);
+        let chain = RopChainBuilder::new(&image, p.slide()).execlp("x").expect("gadgets exist");
+        prop_assert!(p.deliver_input(&chain.encode()).is_exec());
+    }
+
+    /// Chain encoding length is consistent with its parts.
+    #[test]
+    fn chain_encoding_length(slide in 0u64..0x100000, cmd in "[a-z ./:|-]{1,64}") {
+        let image = catalog::connman_image(Arch::X86_64);
+        if let Ok(chain) = RopChainBuilder::new(&image, slide & !0xFFF).execlp(&cmd) {
+            let bytes = chain.encode();
+            prop_assert_eq!(bytes.len(), chain.encoded_len());
+            prop_assert_eq!(bytes.len(), chain.ra_offset + chain.words.len() * 8 + chain.trailing.len());
+        }
+    }
+
+    /// Eq. 1's leaving probability is always a probability, for any valid
+    /// conditions.
+    #[test]
+    fn leaving_probability_in_unit_interval(q in 0.0f64..=1.0, e in 0.0f64..=1.0) {
+        let p = FanChurnModel::PAPER.probability_from_conditions(q, e);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // With the paper's coefficients it is in fact bounded by phi1·0.4.
+        prop_assert!(p <= 0.16 * 0.4 + 1e-12);
+    }
+
+    /// Leaving factor is monotone: better link quality or energy never
+    /// increases it.
+    #[test]
+    fn leaving_factor_monotone(q in 0.0f64..=1.0, e in 0.0f64..=1.0, dq in 0.0f64..=0.2) {
+        let base = FanChurnModel::leaving_factor(q, e);
+        let better_q = FanChurnModel::leaving_factor((q + dq).min(1.0), e);
+        let better_e = FanChurnModel::leaving_factor(q, (e + dq).min(1.0));
+        prop_assert!(better_q <= base + 1e-12);
+        prop_assert!(better_e <= base + 1e-12);
+    }
+
+    /// SimTime arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn simtime_addition_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let base = SimTime::from_nanos(t);
+        let dur = Duration::from_nanos(d);
+        prop_assert_eq!((base + dur) - base, dur);
+    }
+
+    /// A /32 (or /128) prefix contains exactly its own address.
+    #[test]
+    fn host_prefix_is_exact(a in any::<u32>(), b in any::<u32>()) {
+        let ip_a = std::net::IpAddr::V4(std::net::Ipv4Addr::from(a));
+        let ip_b = std::net::IpAddr::V4(std::net::Ipv4Addr::from(b));
+        prop_assert!(prefix_contains(ip_a, 32, ip_a));
+        prop_assert_eq!(prefix_contains(ip_a, 32, ip_b), a == b);
+    }
+
+    /// Shorter prefixes contain everything longer ones do.
+    #[test]
+    fn prefix_containment_is_monotone(base in any::<u32>(), addr in any::<u32>(), len in 1u8..=32) {
+        let p = std::net::IpAddr::V4(std::net::Ipv4Addr::from(base));
+        let a = std::net::IpAddr::V4(std::net::Ipv4Addr::from(addr));
+        if prefix_contains(p, len, a) {
+            prop_assert!(prefix_contains(p, len - 1, a));
+        }
+    }
+
+    /// CSV rendering always emits one line per row plus the header.
+    #[test]
+    fn csv_line_count(rows in proptest::collection::vec(proptest::collection::vec("[a-z,\"]{0,8}", 2..=2), 0..20)) {
+        let mut t = Table::new("p", &["a", "b"]);
+        let n = rows.len();
+        for r in rows {
+            t.push_row(r);
+        }
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), n + 1);
+    }
+
+    /// tx_delay is additive in bytes: delay(a) + delay(b) == delay(a + b)
+    /// (up to 1 ns rounding per term).
+    #[test]
+    fn tx_delay_additive(a in 0u64..1_000_000, b in 0u64..1_000_000, rate in 1_000u64..1_000_000_000) {
+        let d_ab = netsim::time::tx_delay(a + b, rate);
+        let d_sum = netsim::time::tx_delay(a, rate) + netsim::time::tx_delay(b, rate);
+        let diff = d_ab.abs_diff(d_sum);
+        prop_assert!(diff <= Duration::from_nanos(2), "diff {diff:?}");
+    }
+}
