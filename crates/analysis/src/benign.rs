@@ -57,7 +57,7 @@ impl Application for BenignClient {
             let bytes = ctx.rng().gen_range(40..1200);
             // Mix of ports: telemetry (80), DNS-ish (53), app-specific.
             let port = *[self.server.port(), 53, 8883]
-                .get(ctx.rng().gen_range(0..3))
+                .get(ctx.rng().gen_range(0..3usize))
                 .expect("index in range");
             let dst = SocketAddr::new(self.server.ip(), port);
             if ctx

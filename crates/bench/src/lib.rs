@@ -63,12 +63,10 @@ pub fn write_artifact(name: &str, content: &str) {
     }
 }
 
-/// Serializes any serde value to pretty JSON and stores it as an artifact.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => write_artifact(name, &json),
-        Err(e) => eprintln!("failed to serialize {name}: {e}"),
-    }
+/// Serializes any [`djson::ToJson`] value to pretty JSON and stores it as
+/// an artifact.
+pub fn write_json<T: djson::ToJson + ?Sized>(name: &str, value: &T) {
+    write_artifact(name, &value.to_json().to_string_pretty());
 }
 
 #[cfg(test)]

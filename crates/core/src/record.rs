@@ -7,6 +7,7 @@
 //! mechanism behind keeping EXPERIMENTS.md honest.
 
 use crate::result::RunResult;
+use djson::{FromJson, Json, ToJson};
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -17,8 +18,7 @@ use std::path::Path;
 ///
 /// Propagates I/O errors; serialization of [`RunResult`] cannot fail.
 pub fn save_results<P: AsRef<Path>>(path: P, results: &[RunResult]) -> io::Result<()> {
-    let json = serde_json::to_string_pretty(results)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let json = results.to_json().to_string_pretty();
     std::fs::write(path, json)
 }
 
@@ -29,7 +29,10 @@ pub fn save_results<P: AsRef<Path>>(path: P, results: &[RunResult]) -> io::Resul
 /// Propagates I/O errors and malformed JSON.
 pub fn load_results<P: AsRef<Path>>(path: P) -> io::Result<Vec<RunResult>> {
     let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let value =
+        Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Vec::<RunResult>::from_json(&value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Key identifying a run within a sweep.

@@ -1,10 +1,10 @@
 //! Results of a DDoSim run.
 
 use churn::ChurnMode;
-use serde::{Deserialize, Serialize};
+use djson::{FromJson, Json, JsonError, ToJson};
 
 /// Churn telemetry of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChurnSummary {
     /// Devices that left the network.
     pub departures: u64,
@@ -14,38 +14,57 @@ pub struct ChurnSummary {
     pub down_at_end: usize,
 }
 
-mod churn_mode_serde {
-    use super::ChurnMode;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(mode: &ChurnMode, s: S) -> Result<S::Ok, S::Error> {
-        let tag = match mode {
-            ChurnMode::None => "none",
-            ChurnMode::Static => "static",
-            ChurnMode::Dynamic => "dynamic",
-        };
-        tag.serialize(s)
+impl ToJson for ChurnSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("departures", self.departures.to_json()),
+            ("rejoins", self.rejoins.to_json()),
+            ("down_at_end", self.down_at_end.to_json()),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ChurnMode, D::Error> {
-        let tag = String::deserialize(d)?;
-        match tag.as_str() {
-            "none" => Ok(ChurnMode::None),
-            "static" => Ok(ChurnMode::Static),
-            "dynamic" => Ok(ChurnMode::Dynamic),
-            other => Err(serde::de::Error::custom(format!("unknown churn mode {other}"))),
-        }
+impl FromJson for ChurnSummary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ChurnSummary {
+            departures: field(value, "departures")?,
+            rejoins: field(value, "rejoins")?,
+            down_at_end: field(value, "down_at_end")?,
+        })
     }
+}
+
+fn churn_mode_tag(mode: ChurnMode) -> &'static str {
+    match mode {
+        ChurnMode::None => "none",
+        ChurnMode::Static => "static",
+        ChurnMode::Dynamic => "dynamic",
+    }
+}
+
+fn churn_mode_from_tag(tag: &str) -> Result<ChurnMode, JsonError> {
+    match tag {
+        "none" => Ok(ChurnMode::None),
+        "static" => Ok(ChurnMode::Static),
+        "dynamic" => Ok(ChurnMode::Dynamic),
+        other => Err(JsonError::conversion(format!("unknown churn mode {other}"))),
+    }
+}
+
+fn field<T: FromJson>(value: &Json, name: &str) -> Result<T, JsonError> {
+    let v = value
+        .get(name)
+        .ok_or_else(|| JsonError::conversion(format!("missing field {name}")))?;
+    T::from_json(v).map_err(|e| JsonError::conversion(format!("field {name}: {}", e.message)))
 }
 
 /// Everything one DDoSim run produces — the paper's measurements plus
 /// internal telemetry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Number of Devs configured.
     pub devs: usize,
     /// Churn variant.
-    #[serde(with = "churn_mode_serde")]
     pub churn: ChurnMode,
     /// Commanded attack duration (seconds).
     pub attack_duration_secs: u64,
@@ -129,6 +148,92 @@ impl RunResult {
     pub fn peak_received_kbits(&self) -> f64 {
         self.per_second_kbits.iter().copied().fold(0.0, f64::max)
     }
+
+    /// The simulation-derived portion of the result as JSON — everything
+    /// except the host-measured fields (`pre_attack_mem_gb`,
+    /// `attack_mem_gb`, `attack_wall_clock_secs`), which depend on the
+    /// machine and scheduler rather than the seed. Two runs with the same
+    /// configuration and seed must produce byte-identical output here; the
+    /// cross-run determinism regression test asserts exactly that.
+    pub fn to_deterministic_json(&self) -> Json {
+        Json::obj([
+            ("devs", self.devs.to_json()),
+            ("churn", Json::Str(churn_mode_tag(self.churn).to_string())),
+            ("attack_duration_secs", self.attack_duration_secs.to_json()),
+            ("attack_at_secs", self.attack_at_secs.to_json()),
+            ("seed", self.seed.to_json()),
+            (
+                "avg_received_data_rate_kbps",
+                self.avg_received_data_rate_kbps.to_json(),
+            ),
+            ("per_second_kbits", self.per_second_kbits.to_json()),
+            ("infected", self.infected.to_json()),
+            ("infected_before_attack", self.infected_before_attack.to_json()),
+            ("bots_at_command", self.bots_at_command.to_json()),
+            ("infection_rate", self.infection_rate.to_json()),
+            ("infection_times_secs", self.infection_times_secs.to_json()),
+            ("peak_bots", self.peak_bots.to_json()),
+            ("total_registrations", self.total_registrations.to_json()),
+            ("flood_packets_received", self.flood_packets_received.to_json()),
+            ("flood_bytes_received", self.flood_bytes_received.to_json()),
+            ("packets_sent", self.packets_sent.to_json()),
+            ("packets_delivered", self.packets_delivered.to_json()),
+            ("packets_dropped", self.packets_dropped.to_json()),
+            ("churn_summary", self.churn_summary.to_json()),
+            ("scanner_successes", self.scanner_successes.to_json()),
+            ("scanner_attempts", self.scanner_attempts.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut members) = self.to_deterministic_json() else {
+            unreachable!("to_deterministic_json always returns an object")
+        };
+        // Host-measured telemetry rides along in the full serialization but
+        // is deliberately absent from the deterministic form above.
+        members.push(("pre_attack_mem_gb".into(), self.pre_attack_mem_gb.to_json()));
+        members.push(("attack_mem_gb".into(), self.attack_mem_gb.to_json()));
+        members.push((
+            "attack_wall_clock_secs".into(),
+            self.attack_wall_clock_secs.to_json(),
+        ));
+        Json::Obj(members)
+    }
+}
+
+impl FromJson for RunResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let churn_tag: String = field(value, "churn")?;
+        Ok(RunResult {
+            devs: field(value, "devs")?,
+            churn: churn_mode_from_tag(&churn_tag)?,
+            attack_duration_secs: field(value, "attack_duration_secs")?,
+            attack_at_secs: field(value, "attack_at_secs")?,
+            seed: field(value, "seed")?,
+            avg_received_data_rate_kbps: field(value, "avg_received_data_rate_kbps")?,
+            per_second_kbits: field(value, "per_second_kbits")?,
+            infected: field(value, "infected")?,
+            infected_before_attack: field(value, "infected_before_attack")?,
+            bots_at_command: field(value, "bots_at_command")?,
+            infection_rate: field(value, "infection_rate")?,
+            infection_times_secs: field(value, "infection_times_secs")?,
+            peak_bots: field(value, "peak_bots")?,
+            total_registrations: field(value, "total_registrations")?,
+            flood_packets_received: field(value, "flood_packets_received")?,
+            flood_bytes_received: field(value, "flood_bytes_received")?,
+            pre_attack_mem_gb: field(value, "pre_attack_mem_gb")?,
+            attack_mem_gb: field(value, "attack_mem_gb")?,
+            attack_wall_clock_secs: field(value, "attack_wall_clock_secs")?,
+            packets_sent: field(value, "packets_sent")?,
+            packets_delivered: field(value, "packets_delivered")?,
+            packets_dropped: field(value, "packets_dropped")?,
+            churn_summary: field(value, "churn_summary")?,
+            scanner_successes: field(value, "scanner_successes")?,
+            scanner_attempts: field(value, "scanner_attempts")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -196,12 +301,29 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let r = result();
-        let json = serde_json::to_string(&r).expect("serializes");
-        let back: RunResult = serde_json::from_str(&json).expect("deserializes");
+        let json = r.to_json().to_string_pretty();
+        let back = RunResult::from_json(&Json::parse(&json).expect("parses"))
+            .expect("deserializes");
         assert_eq!(back.devs, r.devs);
         assert_eq!(back.churn, ChurnMode::Dynamic);
         assert_eq!(back.churn_summary, r.churn_summary);
+        assert_eq!(back.avg_received_data_rate_kbps, r.avg_received_data_rate_kbps);
+        assert_eq!(back.scanner_successes, None);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_host_measured_fields() {
+        let j = result().to_deterministic_json();
+        assert!(j.get("pre_attack_mem_gb").is_none());
+        assert!(j.get("attack_mem_gb").is_none());
+        assert!(j.get("attack_wall_clock_secs").is_none());
+        assert!(j.get("seed").is_some());
+        // Same value → same bytes, the property the cross-run test relies on.
+        assert_eq!(
+            result().to_deterministic_json().to_string_compact(),
+            j.to_string_compact()
+        );
     }
 }

@@ -1,0 +1,271 @@
+//! In-tree, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], `iter`/`iter_batched`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a *measurement* harness, not a statistics suite: each benchmark
+//! runs a warm-up iteration followed by `sample_size` timed samples and
+//! reports the mean, min, and throughput on stdout. Passing `--smoke` (or
+//! setting `DDOSIM_BENCH_SMOKE=1`) drops to one sample per benchmark so CI
+//! can execute every bench body quickly as a regression test.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How the cost of `iter_batched` setup relates to the routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-runs for every routine invocation.
+    PerIteration,
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (packets, events, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id formed from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id formed from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Whether smoke mode (one sample per bench) is active.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("DDOSIM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench(name, sample_size, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Finishes the group (reporting is per-bench; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+        self.iters_per_sample = 1;
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup time excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+        self.iters_per_sample = 1;
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let samples = if smoke_mode() { 1 } else { sample_size };
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    // Warm-up (not recorded) unless smoking.
+    if !smoke_mode() {
+        f(&mut b);
+        b.samples.clear();
+    }
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let total: Duration = b.samples.iter().sum();
+    let n = b.samples.len().max(1) as u32;
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let rate = |units: u64, d: Duration| -> f64 {
+        if d.is_zero() {
+            f64::INFINITY
+        } else {
+            units as f64 / d.as_secs_f64()
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(e)) => println!(
+            "bench {name}: mean {mean:?} min {min:?} ({:.0} elem/s)",
+            rate(e, mean)
+        ),
+        Some(Throughput::Bytes(by)) => println!(
+            "bench {name}: mean {mean:?} min {min:?} ({:.0} B/s)",
+            rate(by, mean)
+        ),
+        None => println!("bench {name}: mean {mean:?} min {min:?}"),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0;
+        c.bench_function("unit/test", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warm-up + 2 samples
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn groups_run_batched_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1).throughput(Throughput::Elements(10));
+        let mut calls = 0;
+        group.bench_function("b", |b| {
+            b.iter_batched(|| 41, |x| x + 1, BatchSize::SmallInput);
+            calls += 1;
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(100).id, "100");
+    }
+}

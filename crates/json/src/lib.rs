@@ -1,0 +1,683 @@
+//! # djson — dependency-free JSON for DDoSim
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace carries its own small JSON layer instead of `serde`/`serde_json`:
+//! a [`Json`] value type with an order-preserving object representation, a
+//! deterministic writer (compact and pretty), a strict parser, and the
+//! [`ToJson`]/[`FromJson`] conversion traits result types implement by hand.
+//!
+//! Object members keep their insertion order, and the writer is fully
+//! deterministic: the same value always serializes to the same bytes. The
+//! cross-run determinism regression tests rely on that property.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact, unlike an f64 round-trip).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, 0, &mut out);
+        out
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] describing the first syntax problem found.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest round-trip formatting; integral floats keep a ".0" so
+        // the parser can preserve the float/int distinction.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no NaN/inf; encode as null like serde_json does.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::F64(n) => write_f64(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Json, indent: usize, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push(']');
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(indent + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// A JSON syntax or conversion error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset at which the problem was detected (0 for conversion
+    /// errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A conversion (not syntax) error.
+    pub fn conversion(message: impl Into<String>) -> Self {
+        JsonError { message: message.into(), offset: 0 }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let start = self.pos;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Conversion of a Rust value into a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion of a [`Json`] tree back into a Rust value.
+pub trait FromJson: Sized {
+    /// Rebuilds the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the tree has the wrong shape.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_tofrom_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl FromJson for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| JsonError::conversion(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_tofrom_uint!(u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_f64().ok_or_else(|| JsonError::conversion("expected f64"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_bool().ok_or_else(|| JsonError::conversion("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::conversion("expected string"))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for doc in ["null", "true", "false", "0", "42", "-7", "3.5", "\"hi\""] {
+            let v = Json::parse(doc).expect(doc);
+            assert_eq!(v.to_string_compact(), doc, "doc {doc}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let big = u64::MAX;
+        let doc = big.to_string();
+        let v = Json::parse(&doc).expect("parses");
+        assert_eq!(v.as_u64(), Some(big));
+        assert_eq!(v.to_string_compact(), doc);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Json::obj([("z", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(v.to_string_compact(), "{\"z\":1,\"a\":2}");
+        let back = Json::parse(&v.to_string_compact()).expect("parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = Json::obj([
+            ("name", Json::Str("x".into())),
+            ("items", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let pretty = v.to_string_pretty();
+        assert_eq!(
+            pretty,
+            "{\n  \"name\": \"x\",\n  \"items\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+        assert_eq!(Json::parse(&pretty).expect("parses"), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1}";
+        let v = Json::Str(s.to_string());
+        let encoded = v.to_string_compact();
+        assert_eq!(Json::parse(&encoded).expect("parses"), v);
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        let v = Json::parse("\"\\u00e9\"").expect("parses");
+        assert_eq!(v.as_str(), Some("é"));
+    }
+
+    #[test]
+    fn floats_keep_float_identity() {
+        let v = Json::parse("2500.0").expect("parses");
+        assert!(matches!(v, Json::F64(_)));
+        assert_eq!(v.to_string_compact(), "2500.0");
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Json::parse("{\"a\": }").expect_err("must fail");
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("expected a value"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn tofrom_traits_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let json = v.to_json();
+        assert_eq!(Vec::<u64>::from_json(&json).expect("back"), v);
+        let opt: Option<f64> = Some(1.5);
+        assert_eq!(Option::<f64>::from_json(&opt.to_json()).expect("back"), opt);
+        let none: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_json(&none.to_json()).expect("back"), none);
+    }
+}

@@ -1,0 +1,215 @@
+//! Value-generation strategies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// A recipe for producing random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                // Truncation keeps all bit patterns reachable for every width.
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// The strategy returned by `any::<T>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> AnyStrategy<T> {
+    pub(crate) fn new() -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String patterns: a character-class regex subset `"[class]{m,n}"`.
+///
+/// The class supports literal characters, `a-z` style ranges, and `\`
+/// escapes; `{m,n}` selects a uniformly random length in `[m, n]`. A bare
+/// pattern with no class/repetition generates the literal string itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| (self.chars().collect(), 1, 1));
+        if chars.is_empty() {
+            return String::new();
+        }
+        let len = rng.gen_range(lo..=hi);
+        if parse_class_pattern(self).is_none() {
+            // Literal pattern: emit it verbatim.
+            return (*self).to_string();
+        }
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}`; returns `(alphabet, m, n)` or `None` if the
+/// pattern is not of that shape.
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = find_unescaped(rest, ']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            alphabet.push(class[i + 1]);
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (c, class[i + 2]);
+            if a <= b {
+                for code in a as u32..=b as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        alphabet.push(ch);
+                    }
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    Some((alphabet, lo, hi))
+}
+
+fn find_unescaped(s: &str, needle: char) -> Option<usize> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    let mut byte = 0;
+    while i < chars.len() {
+        if chars[i] == '\\' {
+            byte += chars[i].len_utf8() + chars.get(i + 1).map_or(0, |c| c.len_utf8());
+            i += 2;
+            continue;
+        }
+        if chars[i] == needle {
+            return Some(byte);
+        }
+        byte += chars[i].len_utf8();
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_pattern_parses_ranges_and_escapes() {
+        let (alpha, lo, hi) = parse_class_pattern("[a-c,\\]]{1,3}").expect("parses");
+        assert!(alpha.contains(&'a') && alpha.contains(&'c'));
+        assert!(alpha.contains(&',') && alpha.contains(&']'));
+        assert_eq!((lo, hi), (1, 3));
+    }
+
+    #[test]
+    fn class_pattern_space_to_tilde() {
+        let (alpha, lo, hi) = parse_class_pattern("[ -~]{1,48}").expect("parses");
+        assert_eq!(alpha.len(), 95); // printable ASCII
+        assert_eq!((lo, hi), (1, 48));
+    }
+
+    #[test]
+    fn non_class_pattern_is_literal() {
+        assert!(parse_class_pattern("hello").is_none());
+        let s = "hello".generate(&mut rng());
+        assert_eq!(s, "hello");
+    }
+
+    #[test]
+    fn generated_strings_respect_class_and_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z ./:|-]{1,64}".generate(&mut r);
+            assert!((1..=64).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || " ./:|-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_count() {
+        let (_, lo, hi) = parse_class_pattern("[x]{5}").expect("parses");
+        assert_eq!((lo, hi), (5, 5));
+    }
+}

@@ -173,13 +173,7 @@ fn main() -> ExitCode {
         }
     };
     if json {
-        match serde_json::to_string_pretty(&result) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        println!("{}", djson::ToJson::to_json(&result).to_string_pretty());
     } else {
         println!(
             "devs={} recruited={} ({:.0}%)  bots@command={}  avg={:.1} kbps  \

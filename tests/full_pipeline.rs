@@ -206,7 +206,7 @@ fn builder_rejects_invalid_configs() {
 #[test]
 fn result_serializes_for_experiment_records() {
     let r = small().devs(3).run().expect("valid");
-    let json = serde_json::to_string(&r).expect("serializes");
+    let json = djson::ToJson::to_json(&r).to_string_compact();
     assert!(json.contains("avg_received_data_rate_kbps"));
 }
 
