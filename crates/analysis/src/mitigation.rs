@@ -149,16 +149,14 @@ mod tests {
     use std::net::SocketAddr;
 
     fn pkt(src_last: u8, bytes: u32) -> Packet {
-        Packet {
-            src: SocketAddr::new(IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, src_last)), 1),
-            dst: SocketAddr::new(IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 9)), 80),
-            proto: TransportProto::Udp,
-            payload: Payload::empty(),
-            header_bytes: 28,
-            payload_bytes: bytes.saturating_sub(28),
-            ttl: 64,
-            id: 0,
-        }
+        Packet::new(
+            SocketAddr::new(IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, src_last)), 1),
+            SocketAddr::new(IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 9)), 80),
+            TransportProto::Udp,
+            Payload::empty(),
+            28,
+            bytes.saturating_sub(28),
+        )
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Performance snapshot of the netsim hot path: the bucketed calendar
+//! event queue versus the reference binary heap, plus a whole-simulation
+//! saturation run. Emits `results/BENCH_netsim.json`.
+//!
+//! Both queue workloads replay *identical* deterministic schedules into the
+//! two [`TimeOrderedQueue`] implementations, so the queue is the only
+//! variable:
+//!
+//! * **event-queue** — a discrete-event main-loop mix: a large pending set,
+//!   each pop scheduling a few follow-ups at timer-like offsets from tens
+//!   of microseconds to hundreds of milliseconds.
+//! * **link-saturation** — the drop-tail flood shape: many links each with
+//!   a back-to-back `TxComplete`/`Deliver` pair per popped event, spaced at
+//!   serialization granularity.
+//!
+//! Pass `--smoke` (or set `DDOSIM_BENCH_SMOKE=1`) for a seconds-fast run
+//! with reduced operation counts.
+
+use netsim::topology::StarTopology;
+use netsim::{
+    Application, Ctx, EventQueue, LinkConfig, Packet, Payload, ReferenceQueue, SimTime, Simulator,
+    TimeOrderedQueue,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Whether `--smoke` / `DDOSIM_BENCH_SMOKE=1` shrank the workloads.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("DDOSIM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// One step of a replayable schedule: pop once, then push these offsets
+/// (nanoseconds after the popped event's time).
+struct Step {
+    offsets: Vec<u64>,
+}
+
+/// The main-loop mix: most follow-ups land within the wheel horizon,
+/// a few far beyond it (retransmission timers, churn, attack phases).
+fn event_queue_schedule(steps: usize, rng: &mut SmallRng) -> Vec<Step> {
+    (0..steps)
+        .map(|_| {
+            let fanout = rng.gen_range(0..=2usize);
+            let offsets = (0..fanout)
+                .map(|_| match rng.gen_range(0..10u32) {
+                    0..=5 => rng.gen_range(1_000..200_000u64), // µs-scale events
+                    6..=8 => rng.gen_range(200_000..50_000_000u64), // ms-scale timers
+                    _ => rng.gen_range(50_000_000..2_000_000_000u64), // far timers
+                })
+                .collect();
+            Step { offsets }
+        })
+        .collect()
+}
+
+/// The saturated-link shape: every pop spawns a serialization completion at
+/// transmission granularity (~43 µs for a 540-byte frame at 100 Mbps) and
+/// a delivery one propagation delay later.
+fn link_saturation_schedule(steps: usize, rng: &mut SmallRng) -> Vec<Step> {
+    (0..steps)
+        .map(|_| {
+            let tx = rng.gen_range(20_000..80_000u64);
+            let deliver = tx + rng.gen_range(900_000..1_100_000u64);
+            Step { offsets: vec![tx, deliver] }
+        })
+        .collect()
+}
+
+/// Replays `schedule` into `q` starting from a primed pending set; returns
+/// total queue operations (pushes + pops) performed.
+fn drive<Q: TimeOrderedQueue<u64>>(q: &mut Q, pending: usize, schedule: &[Step]) -> u64 {
+    let mut seq = 0u64;
+    let mut ops = 0u64;
+    // Prime a realistic pending population spread over ~60 ms.
+    let mut prime = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..pending {
+        q.push(SimTime::from_nanos(prime.gen_range(0..60_000_000u64)), seq, seq);
+        seq += 1;
+        ops += 1;
+    }
+    for step in schedule {
+        let Some((now, _, _)) = q.pop() else { break };
+        ops += 1;
+        for &off in &step.offsets {
+            q.push(SimTime::from_nanos(now.as_nanos().saturating_add(off)), seq, seq);
+            seq += 1;
+            ops += 1;
+        }
+    }
+    // Drain what's left so both implementations do the full pop work.
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    ops
+}
+
+/// Times `f` over `reps` repetitions and returns the best (least noisy)
+/// ops/sec together with the op count.
+fn best_rate(reps: usize, mut f: impl FnMut() -> u64) -> (u64, f64) {
+    let mut best = f64::MIN;
+    let mut ops = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        ops = f();
+        let rate = ops as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(rate);
+    }
+    (ops, best)
+}
+
+/// Compares the calendar queue against the reference heap on one schedule.
+fn compare(name: &str, pending: usize, schedule: &[Step], reps: usize) -> djson::Json {
+    // Untimed warm-up: first touches of the bucket ring and heap pay
+    // allocator and frequency-scaling costs that belong to neither side.
+    let warm = schedule.len().min(50_000);
+    let mut q = EventQueue::new();
+    drive(&mut q, pending, &schedule[..warm]);
+    let mut q = ReferenceQueue::new();
+    drive(&mut q, pending, &schedule[..warm]);
+
+    let (ops, calendar) = best_rate(reps, || {
+        let mut q = EventQueue::new();
+        drive(&mut q, pending, schedule)
+    });
+    let (_, reference) = best_rate(reps, || {
+        let mut q = ReferenceQueue::new();
+        drive(&mut q, pending, schedule)
+    });
+    let speedup = calendar / reference;
+    println!(
+        "{name}: {ops} ops | calendar {calendar:.0}/s | reference heap {reference:.0}/s | speedup {speedup:.2}x"
+    );
+    djson::Json::obj([
+        ("ops", djson::Json::U64(ops)),
+        ("calendar_events_per_sec", djson::Json::F64(calendar)),
+        ("reference_events_per_sec", djson::Json::F64(reference)),
+        ("speedup", djson::Json::F64(speedup)),
+    ])
+}
+
+#[derive(Default)]
+struct Sink;
+impl Application for Sink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(9).expect("bind");
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &Packet) {}
+}
+
+struct Blaster {
+    dst: SocketAddr,
+    interval: Duration,
+}
+impl Application for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(1000).expect("bind");
+        ctx.set_timer(Duration::ZERO, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let _ = ctx.udp_send(1000, self.dst, Payload::empty(), 512);
+        ctx.set_timer(self.interval, 0);
+    }
+}
+
+/// A whole simulation under flood load: many spokes blasting one sink
+/// through a star fabric — the packet hot path end to end. Reports
+/// simulated packets per wall-clock second and the peak event-queue depth.
+fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
+    let mut sim = Simulator::new(3);
+    let mut star = StarTopology::new(&mut sim, "fabric");
+    let sink_node = sim.add_node("tserver");
+    let m = star.attach(
+        &mut sim,
+        sink_node,
+        LinkConfig::new(10_000_000, Duration::from_millis(1)),
+    );
+    sim.install_app(sink_node, Box::new(Sink));
+    for i in 0..spokes {
+        let n = sim.add_node(format!("dev{i}"));
+        star.attach(&mut sim, n, LinkConfig::new(1_000_000, Duration::from_millis(2)));
+        sim.install_app(
+            n,
+            Box::new(Blaster {
+                dst: SocketAddr::new(m.addr_v4, 9),
+                interval: Duration::from_micros(4320), // saturate 1 Mbps with 540 B frames
+            }),
+        );
+    }
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let s = sim.stats();
+    let packets = s.packets_sent + s.packets_delivered + s.total_dropped();
+    let pps = packets as f64 / elapsed;
+    let peak = sim.peak_pending_events();
+    println!(
+        "whole-sim: {spokes} spokes x {sim_secs}s sim in {elapsed:.2}s wall | {pps:.0} packets/s | peak queue depth {peak}"
+    );
+    djson::Json::obj([
+        ("spokes", djson::Json::U64(spokes as u64)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("wall_seconds", djson::Json::F64(elapsed)),
+        ("packets", djson::Json::U64(packets)),
+        ("packets_per_sec", djson::Json::F64(pps)),
+        ("peak_pending_events", djson::Json::U64(peak as u64)),
+    ])
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    // The pending population matches the paper's scale ambitions: thousands
+    // of Devs each holding timers and in-flight frames.
+    let (steps, pending, reps, spokes, sim_secs) = if smoke {
+        (400_000, 65_536, 2, 20, 5)
+    } else {
+        (2_000_000, 131_072, 3, 60, 20)
+    };
+    let mut rng = SmallRng::seed_from_u64(0xBE7C);
+    let eq_schedule = event_queue_schedule(steps, &mut rng);
+    let sat_schedule = link_saturation_schedule(steps, &mut rng);
+
+    let event_queue = compare("event-queue", pending, &eq_schedule, reps);
+    let link_saturation = compare("link-saturation", pending, &sat_schedule, reps);
+    let sim = whole_sim(spokes, sim_secs);
+
+    let out = djson::Json::obj([
+        ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
+        ("smoke", djson::Json::Bool(smoke)),
+        ("event_queue", event_queue),
+        ("link_saturation", link_saturation),
+        ("whole_sim", sim),
+    ]);
+    ddosim_bench::write_artifact("BENCH_netsim.json", &out.to_string_pretty());
+}

@@ -83,10 +83,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
-            sample_size: self.sample_size,
+            sample_size,
             throughput: None,
         }
     }

@@ -471,6 +471,12 @@ pub trait ToJson {
     fn to_json(&self) -> Json;
 }
 
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
 /// Conversion of a [`Json`] tree back into a Rust value.
 pub trait FromJson: Sized {
     /// Rebuilds the value.

@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod equeue;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -71,6 +72,7 @@ pub mod topology;
 pub mod wifi;
 
 pub use app::{Application, NullApp};
+pub use equeue::{EventQueue, ReferenceQueue, TimeOrderedQueue};
 pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 pub use link::LinkConfig;
 pub use packet::{Packet, Payload, TransportProto};

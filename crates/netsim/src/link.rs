@@ -69,6 +69,20 @@ pub(crate) struct LinkDirection {
     pub tx_gen: u64,
 }
 
+impl LinkDirection {
+    fn with_capacity(packets: usize) -> Self {
+        LinkDirection { queue: VecDeque::with_capacity(packets), ..Default::default() }
+    }
+}
+
+/// How many packet slots to preallocate for a drop-tail queue bounded at
+/// `capacity_bytes`: room for small-packet floods (~128-byte frames are the
+/// attack workload) plus the in-flight head, clamped so huge byte budgets
+/// don't reserve megabytes up front.
+pub(crate) fn prealloc_packets(capacity_bytes: u64) -> usize {
+    ((capacity_bytes / 128) + 2).min(1024) as usize
+}
+
 /// A full-duplex point-to-point link between two interfaces.
 #[derive(Debug)]
 pub struct P2pLink {
@@ -79,10 +93,11 @@ pub struct P2pLink {
 
 impl P2pLink {
     pub(crate) fn new(config: LinkConfig, a: IfaceId, b: IfaceId) -> Self {
+        let cap = prealloc_packets(config.queue_capacity_bytes);
         P2pLink {
             config,
             endpoints: [a, b],
-            dirs: [LinkDirection::default(), LinkDirection::default()],
+            dirs: [LinkDirection::with_capacity(cap), LinkDirection::with_capacity(cap)],
         }
     }
 

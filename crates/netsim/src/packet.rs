@@ -82,9 +82,12 @@ pub const DEFAULT_HEADER_BYTES: u32 = 28;
 /// Default time-to-live for newly built packets.
 pub const DEFAULT_TTL: u8 = 64;
 
-/// A simulated network packet.
-#[derive(Debug, Clone)]
-pub struct Packet {
+/// The immutable body of a packet: addressing, protocol, payload, and the
+/// byte counts that drive timing. Shared by every copy of a [`Packet`]
+/// through an [`Arc`], so broadcast fan-out, Wi-Fi retransmissions, and
+/// delivery all alias one allocation instead of deep-copying.
+#[derive(Debug)]
+pub struct PacketBody {
     /// Source address and port.
     pub src: SocketAddr,
     /// Destination address and port.
@@ -97,27 +100,89 @@ pub struct Packet {
     pub header_bytes: u32,
     /// Bytes charged for the payload.
     pub payload_bytes: u32,
+}
+
+/// A simulated network packet.
+///
+/// Cloning is `O(1)`: the body is `Arc`-shared and only the per-hop state
+/// (`ttl`, `id`) lives inline. The body is immutable after construction —
+/// mutating a sent packet is impossible by construction, which the aliasing
+/// tests rely on. Read access goes through `Deref`, so `packet.dst`,
+/// `packet.payload`, etc. read naturally.
+///
+/// Writing a body field does not compile — there is no `DerefMut`:
+///
+/// ```compile_fail
+/// use netsim::{Packet, Payload};
+/// let mut p = Packet::udp(
+///     "10.0.0.1:1".parse().unwrap(),
+///     "10.0.0.2:2".parse().unwrap(),
+///     Payload::empty(),
+///     100,
+/// );
+/// p.payload_bytes = 5; // ERROR: cannot assign through the immutable body
+/// ```
+#[derive(Debug, Clone)]
+pub struct Packet {
+    body: Arc<PacketBody>,
     /// Remaining hops before the packet is dropped.
     pub ttl: u8,
     /// Unique packet id (assigned by the simulator at send time).
     pub id: u64,
 }
 
+impl std::ops::Deref for Packet {
+    type Target = PacketBody;
+
+    fn deref(&self) -> &PacketBody {
+        &self.body
+    }
+}
+
 impl Packet {
-    /// Builds a UDP packet with default header overhead and TTL.
-    pub fn udp(src: SocketAddr, dst: SocketAddr, payload: Payload, payload_bytes: u32) -> Self {
+    /// Builds a packet with default TTL and an unassigned id.
+    pub fn new(
+        src: SocketAddr,
+        dst: SocketAddr,
+        proto: TransportProto,
+        payload: Payload,
+        header_bytes: u32,
+        payload_bytes: u32,
+    ) -> Self {
         Packet {
-            src,
-            dst,
-            proto: TransportProto::Udp,
-            payload,
-            header_bytes: DEFAULT_HEADER_BYTES,
-            payload_bytes,
+            body: Arc::new(PacketBody {
+                src,
+                dst,
+                proto,
+                payload,
+                header_bytes,
+                payload_bytes,
+            }),
             ttl: DEFAULT_TTL,
             id: 0,
         }
     }
 
+    /// Builds a UDP packet with default header overhead and TTL.
+    pub fn udp(src: SocketAddr, dst: SocketAddr, payload: Payload, payload_bytes: u32) -> Self {
+        Packet::new(
+            src,
+            dst,
+            TransportProto::Udp,
+            payload,
+            DEFAULT_HEADER_BYTES,
+            payload_bytes,
+        )
+    }
+
+    /// Whether this packet shares its body allocation with `other` (true
+    /// for clones of one sent packet; the wire never copies bodies).
+    pub fn shares_body_with(&self, other: &Packet) -> bool {
+        Arc::ptr_eq(&self.body, &other.body)
+    }
+}
+
+impl PacketBody {
     /// Total bytes this packet occupies on the wire.
     pub fn wire_bytes(&self) -> u32 {
         self.header_bytes.saturating_add(self.payload_bytes)
@@ -183,14 +248,11 @@ mod tests {
 
     #[test]
     fn multicast_detection() {
-        let mut p = Packet::udp(sa(1, 1), sa(2, 2), Payload::empty(), 0);
-        assert!(!p.is_multicast());
-        p.dst = SocketAddr::new(all_dhcp_agents_v6(), 547);
-        assert!(p.is_multicast());
-        p.dst = SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), 547);
-        assert!(!p.is_multicast());
-        p.dst = SocketAddr::new(IpAddr::V4(Ipv4Addr::new(224, 0, 0, 1)), 5);
-        assert!(p.is_multicast());
+        let to = |dst| Packet::udp(sa(1, 1), dst, Payload::empty(), 0);
+        assert!(!to(sa(2, 2)).is_multicast());
+        assert!(to(SocketAddr::new(all_dhcp_agents_v6(), 547)).is_multicast());
+        assert!(!to(SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), 547)).is_multicast());
+        assert!(to(SocketAddr::new(IpAddr::V4(Ipv4Addr::new(224, 0, 0, 1)), 5)).is_multicast());
     }
 
     #[test]
@@ -198,5 +260,18 @@ mod tests {
         let p = Payload::new(vec![1u8, 2, 3]);
         let q = p.clone();
         assert_eq!(q.get::<Vec<u8>>(), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn packet_clones_share_one_body() {
+        let p = Packet::udp(sa(1, 1), sa(2, 2), Payload::new(7u32), 100);
+        let mut q = p.clone();
+        q.ttl -= 1;
+        q.id = 9;
+        // Per-hop state diverges; the body allocation is shared.
+        assert!(p.shares_body_with(&q));
+        assert_eq!(p.ttl, DEFAULT_TTL);
+        assert_eq!(q.wire_bytes(), p.wire_bytes());
+        assert_eq!(q.payload.get::<u32>(), Some(&7));
     }
 }

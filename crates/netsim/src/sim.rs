@@ -3,6 +3,7 @@
 
 use crate::app::Application;
 use std::any::Any;
+use crate::equeue::{EventQueue, TimeOrderedQueue};
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use crate::link::{LinkConfig, P2pLink};
 use crate::node::{Attachment, Iface, Node, Route};
@@ -13,8 +14,7 @@ use crate::time::{tx_delay, SimTime};
 use crate::wifi::{WifiChannel, WifiConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
@@ -69,29 +69,6 @@ enum Event {
     Call(Box<dyn FnOnce(&mut Simulator)>),
 }
 
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The discrete-event network simulator.
 ///
 /// Owns the world: nodes, interfaces, links, channels, applications, and the
@@ -110,7 +87,7 @@ impl Ord for Entry {
 /// ```
 pub struct Simulator {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Entry>>,
+    queue: EventQueue<Event>,
     seq: u64,
     next_packet_id: u64,
     nodes: Vec<Node>,
@@ -145,7 +122,7 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             seq: 0,
             next_packet_id: 1,
             nodes: Vec::new(),
@@ -509,25 +486,21 @@ impl Simulator {
     fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry {
-            time: at.max(self.now),
-            seq,
-            event,
-        }));
+        self.queue.push(at.max(self.now), seq, event);
     }
 
     /// Runs the event loop until `horizon`; the clock ends exactly at
     /// `horizon` even if the queue drains early.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.stop_requested = false;
-        while let Some(Reverse(entry)) = self.queue.peek() {
-            if entry.time > horizon {
+        while let Some((time, _)) = self.queue.peek_key() {
+            if time > horizon {
                 break;
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked entry exists");
-            self.now = entry.time;
+            let (time, _, event) = self.queue.pop().expect("peeked entry exists");
+            self.now = time;
             self.stats.events_executed += 1;
-            self.handle(entry.event);
+            self.handle(event);
             if self.stop_requested {
                 break;
             }
@@ -550,6 +523,11 @@ impl Simulator {
     /// Number of events waiting in the queue.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Largest number of events that were ever pending simultaneously.
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
     }
 
     fn handle(&mut self, event: Event) {

@@ -301,29 +301,25 @@ impl TcpStack {
             SegKind::Data { bytes, .. } => *bytes,
             _ => 0,
         };
-        Packet {
-            src: SocketAddr::new(c.local_addr, c.local_port),
-            dst: c.peer,
-            proto: TransportProto::Tcp,
-            payload: Payload::new(TcpSeg { kind }),
-            header_bytes: TCP_HEADER_BYTES,
+        Packet::new(
+            SocketAddr::new(c.local_addr, c.local_port),
+            c.peer,
+            TransportProto::Tcp,
+            Payload::new(TcpSeg { kind }),
+            TCP_HEADER_BYTES,
             payload_bytes,
-            ttl: crate::packet::DEFAULT_TTL,
-            id: 0,
-        }
+        )
     }
 
     fn rst_packet(local: SocketAddr, peer: SocketAddr) -> Packet {
-        Packet {
-            src: local,
-            dst: peer,
-            proto: TransportProto::Tcp,
-            payload: Payload::new(TcpSeg { kind: SegKind::Rst }),
-            header_bytes: TCP_HEADER_BYTES,
-            payload_bytes: 0,
-            ttl: crate::packet::DEFAULT_TTL,
-            id: 0,
-        }
+        Packet::new(
+            local,
+            peer,
+            TransportProto::Tcp,
+            Payload::new(TcpSeg { kind: SegKind::Rst }),
+            TCP_HEADER_BYTES,
+            0,
+        )
     }
 
     /// Handles an inbound segment addressed to this node.

@@ -108,8 +108,10 @@ impl WifiChannel {
     }
 
     pub(crate) fn add_station(&mut self, iface: IfaceId) -> usize {
+        let cap = crate::link::prealloc_packets(self.config.queue_capacity_bytes);
         self.stations.push(Station {
             iface,
+            queue: VecDeque::with_capacity(cap),
             ..Station::default()
         });
         self.stations.len() - 1

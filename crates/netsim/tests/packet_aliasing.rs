@@ -1,0 +1,215 @@
+//! Arc-shared packet bodies: every copy the wire makes of a sent packet
+//! aliases the sender's allocation, and the sharing is invisible to the
+//! accounting (wire sizes and stats counters are unchanged).
+//!
+//! Mutation-after-send is impossible by construction — `Packet` exposes its
+//! body only through `Deref`, so there is no way to write a body field
+//! through any copy (see the `compile_fail` doctest on `Packet`). These
+//! tests cover the runtime half: the copies really are aliases, on both the
+//! point-to-point and the Wi-Fi path.
+
+use netsim::{
+    Application, Ctx, LinkConfig, Packet, Payload, SimTime, Simulator, WifiConfig,
+    packet::DEFAULT_HEADER_BYTES,
+};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn v4(d: u8) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, 0, d))
+}
+
+/// Sends raw packets and retains a clone of each one it sent.
+struct RetainingSender {
+    dst: SocketAddr,
+    count: u32,
+    payload: u32,
+    sent: Vec<Packet>,
+}
+
+impl Application for RetainingSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(1000).expect("bind");
+        ctx.set_timer(Duration::ZERO, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        if self.sent.len() as u32 >= self.count {
+            return;
+        }
+        let src_ip = ctx.my_addr(self.dst.is_ipv6()).expect("addr");
+        let pkt = Packet::udp(
+            SocketAddr::new(src_ip, 1000),
+            self.dst,
+            Payload::empty(),
+            self.payload,
+        );
+        self.sent.push(pkt.clone());
+        ctx.send_raw(pkt);
+        ctx.set_timer(Duration::from_millis(5), 0);
+    }
+}
+
+/// Delivers into a vector so the test can inspect the received copies.
+#[derive(Default)]
+struct Capture {
+    got: Vec<Packet>,
+    join: Option<IpAddr>,
+}
+
+impl Application for Capture {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.udp_bind(9).expect("bind");
+        if let Some(group) = self.join {
+            ctx.join_multicast(group);
+        }
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, p: &Packet) {
+        self.got.push(p.clone());
+    }
+}
+
+/// Two nodes joined by a p2p link; returns (sender handle, sink handle, sim).
+fn p2p_world(count: u32, payload: u32) -> (netsim::AppId, netsim::AppId, Simulator) {
+    let mut sim = Simulator::new(21);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let ia = sim.add_iface(a, vec![v4(1)]);
+    let ib = sim.add_iface(b, vec![v4(2)]);
+    sim.connect_p2p(ia, ib, LinkConfig::new(10_000_000, Duration::from_millis(1)))
+        .expect("link");
+    sim.add_default_route(a, ia);
+    sim.add_default_route(b, ib);
+    let sink = sim.install_app(b, Box::new(Capture::default()));
+    let tx = sim.install_app(
+        a,
+        Box::new(RetainingSender {
+            dst: SocketAddr::new(v4(2), 9),
+            count,
+            payload,
+            sent: Vec::new(),
+        }),
+    );
+    sim.run_until(SimTime::from_secs(10));
+    (tx, sink, sim)
+}
+
+#[test]
+fn delivered_p2p_packets_alias_the_senders_allocation() {
+    let (tx, sink, sim) = p2p_world(20, 512);
+    let sent = &sim.app_ref::<RetainingSender>(tx).expect("sender").sent;
+    let got = &sim.app_ref::<Capture>(sink).expect("sink").got;
+    assert_eq!(sent.len(), 20);
+    assert_eq!(got.len(), 20);
+    for (s, g) in sent.iter().zip(got) {
+        assert!(
+            s.shares_body_with(g),
+            "the wire must move the Arc, not deep-copy the body"
+        );
+        // Only per-hop state may diverge between the copies.
+        assert_eq!(s.wire_bytes(), g.wire_bytes());
+        assert_eq!(s.src, g.src);
+        assert_eq!(s.dst, g.dst);
+    }
+}
+
+#[test]
+fn stats_byte_counters_match_wire_sizes_exactly() {
+    // Locks the size accounting across the Arc refactor: 20 packets of
+    // 512-byte payload at 28 bytes of header each, all delivered.
+    let (_, _, sim) = p2p_world(20, 512);
+    let s = sim.stats();
+    let wire = u64::from(512 + DEFAULT_HEADER_BYTES);
+    assert_eq!(s.packets_sent, 20);
+    assert_eq!(s.packets_delivered, 20);
+    assert_eq!(s.bytes_delivered, 20 * wire);
+    assert_eq!(s.total_dropped(), 0);
+}
+
+#[test]
+fn multicast_fanout_copies_share_one_body() {
+    // One sender with two interfaces, each wired to a different receiver
+    // that joined the group: the fan-out at route time clones the packet
+    // per interface, and both delivered copies must alias one allocation.
+    let group = IpAddr::V4(Ipv4Addr::new(224, 0, 0, 1));
+    let mut sim = Simulator::new(13);
+    let a = sim.add_node("src");
+    let b = sim.add_node("rx1");
+    let c = sim.add_node("rx2");
+    let ia1 = sim.add_iface(a, vec![v4(1)]);
+    let ia2 = sim.add_iface(a, vec![v4(2)]);
+    let ib = sim.add_iface(b, vec![v4(3)]);
+    let ic = sim.add_iface(c, vec![v4(4)]);
+    let cfg = LinkConfig::new(10_000_000, Duration::from_millis(1));
+    sim.connect_p2p(ia1, ib, cfg.clone()).expect("link");
+    sim.connect_p2p(ia2, ic, cfg).expect("link");
+    let rx1 = sim.install_app(
+        b,
+        Box::new(Capture {
+            join: Some(group),
+            ..Capture::default()
+        }),
+    );
+    let rx2 = sim.install_app(
+        c,
+        Box::new(Capture {
+            join: Some(group),
+            ..Capture::default()
+        }),
+    );
+    let tx = sim.install_app(
+        a,
+        Box::new(RetainingSender {
+            dst: SocketAddr::new(group, 9),
+            count: 5,
+            payload: 64,
+            sent: Vec::new(),
+        }),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    let sent = &sim.app_ref::<RetainingSender>(tx).expect("sender").sent;
+    let got1 = &sim.app_ref::<Capture>(rx1).expect("rx1").got;
+    let got2 = &sim.app_ref::<Capture>(rx2).expect("rx2").got;
+    assert_eq!(sent.len(), 5);
+    assert_eq!(got1.len(), 5, "receiver 1 gets every multicast packet");
+    assert_eq!(got2.len(), 5, "receiver 2 gets every multicast packet");
+    for ((s, g1), g2) in sent.iter().zip(got1).zip(got2) {
+        assert!(s.shares_body_with(g1));
+        assert!(s.shares_body_with(g2));
+        assert!(g1.shares_body_with(g2), "fan-out copies alias one body");
+    }
+}
+
+#[test]
+fn wifi_delivered_packets_alias_the_senders_allocation() {
+    // The Wi-Fi path clones the head frame for the air and again for
+    // delivery; every copy must still alias the sender's body.
+    let mut sim = Simulator::new(17);
+    let chan = sim.add_wifi_channel(WifiConfig::default());
+    let a = sim.add_node("sta");
+    let b = sim.add_node("ap");
+    let ia = sim.add_iface(a, vec![v4(1)]);
+    let ib = sim.add_iface(b, vec![v4(2)]);
+    sim.attach_wifi(ia, chan).expect("attach");
+    sim.attach_wifi(ib, chan).expect("attach");
+    sim.add_default_route(a, ia);
+    sim.add_default_route(b, ib);
+    let sink = sim.install_app(b, Box::new(Capture::default()));
+    let tx = sim.install_app(
+        a,
+        Box::new(RetainingSender {
+            dst: SocketAddr::new(v4(2), 9),
+            count: 10,
+            payload: 256,
+            sent: Vec::new(),
+        }),
+    );
+    sim.run_until(SimTime::from_secs(10));
+    let sent = &sim.app_ref::<RetainingSender>(tx).expect("sender").sent;
+    let got = &sim.app_ref::<Capture>(sink).expect("sink").got;
+    assert_eq!(sent.len(), 10);
+    assert_eq!(got.len(), 10);
+    for (s, g) in sent.iter().zip(got) {
+        assert!(s.shares_body_with(g));
+        assert_eq!(s.wire_bytes(), g.wire_bytes());
+    }
+}

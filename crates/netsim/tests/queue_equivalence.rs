@@ -1,0 +1,134 @@
+//! Property tests proving the calendar [`EventQueue`] observationally
+//! identical to the plain binary-heap [`ReferenceQueue`] it replaced.
+//!
+//! The simulator's determinism hinges on the queue popping in exact
+//! `(time, seq)` order, so these tests drive both implementations through
+//! the same schedules — including same-tick ties, pushes interleaved with
+//! pops (events scheduled while the simulation runs), bucket-boundary
+//! times, and far-future overflow times — and require identical pop
+//! sequences.
+
+use netsim::equeue::{BUCKET_SPAN_NANOS, NUM_BUCKETS};
+use netsim::{EventQueue, ReferenceQueue, SimTime, TimeOrderedQueue};
+use proptest::prelude::*;
+
+/// Drains both queues fully, comparing every popped `(time, seq, payload)`.
+fn assert_drain_identical(wheel: &mut EventQueue<u64>, reference: &mut ReferenceQueue<u64>) {
+    loop {
+        assert_eq!(wheel.len(), reference.len());
+        assert_eq!(wheel.peek_key(), reference.peek_key());
+        let (a, b) = (wheel.pop(), reference.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            return;
+        }
+    }
+}
+
+/// Widens a raw u64 into an interesting time: most weight on wheel-scale
+/// values, some on bucket boundaries and far-future overflow times.
+fn shape_time(raw: u64) -> u64 {
+    let span = BUCKET_SPAN_NANOS;
+    let wheel = span * NUM_BUCKETS as u64;
+    match raw % 8 {
+        // Dense near-term cluster: many same-tick ties.
+        0 | 1 => raw % 64,
+        // Within one bucket.
+        2 => raw % span,
+        // Across the wheel.
+        3 | 4 => raw % wheel,
+        // Exactly on bucket boundaries.
+        5 => (raw % (NUM_BUCKETS as u64 * 4)) * span,
+        // Just beyond the wheel horizon.
+        6 => wheel + raw % (4 * wheel),
+        // Deep overflow.
+        _ => raw % (u64::MAX / 2) + wheel,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_schedules_pop_identically(raw_times in proptest::collection::vec(any::<u64>(), 1..400)) {
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        for (seq, raw) in raw_times.iter().enumerate() {
+            let t = SimTime::from_nanos(shape_time(*raw));
+            wheel.push(t, seq as u64, *raw);
+            reference.push(t, seq as u64, *raw);
+        }
+        assert_drain_identical(&mut wheel, &mut reference);
+    }
+
+    #[test]
+    fn same_tick_ties_pop_in_schedule_order(tick in any::<u32>(), n in 2usize..64) {
+        let mut wheel = EventQueue::new();
+        let t = SimTime::from_nanos(u64::from(tick));
+        for seq in 0..n as u64 {
+            wheel.push(t, seq, seq);
+        }
+        for expected in 0..n as u64 {
+            let (pt, seq, item) = wheel.pop().expect("queue holds n events");
+            prop_assert_eq!(pt, t);
+            prop_assert_eq!(seq, expected);
+            prop_assert_eq!(item, expected);
+        }
+        prop_assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_during_pop_matches_reference(
+        initial in proptest::collection::vec(any::<u64>(), 1..120),
+        follow_ups in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        // Models the simulator's actual usage: handling one event schedules
+        // more events at or after the popped time (the run loop clamps to
+        // `now`), interleaved with further pops.
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        let mut seq = 0u64;
+        for raw in &initial {
+            let t = SimTime::from_nanos(shape_time(*raw));
+            wheel.push(t, seq, *raw);
+            reference.push(t, seq, *raw);
+            seq += 1;
+        }
+        let mut follow = follow_ups.iter();
+        loop {
+            prop_assert_eq!(wheel.peek_key(), reference.peek_key());
+            let (a, b) = (wheel.pop(), reference.pop());
+            prop_assert_eq!(&a, &b);
+            let Some((now, _, _)) = a else { break };
+            if let Some(raw) = follow.next() {
+                // Schedule relative to the popped time, never in the past.
+                // Offsets reuse the full shape: near-term ties, wheel-scale,
+                // and beyond-horizon times that park in overflow and can
+                // become overdue while the wheel stays busy.
+                let t = SimTime::from_nanos(now.as_nanos().saturating_add(shape_time(*raw)));
+                wheel.push(t, seq, *raw);
+                reference.push(t, seq, *raw);
+                seq += 1;
+            }
+        }
+        prop_assert!(reference.is_empty());
+    }
+
+    #[test]
+    fn peak_depth_matches_reference(
+        raw_times in proptest::collection::vec(any::<u64>(), 1..200),
+        pop_every in 1usize..5,
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        for (seq, raw) in raw_times.iter().enumerate() {
+            let t = SimTime::from_nanos(shape_time(*raw));
+            wheel.push(t, seq as u64, *raw);
+            reference.push(t, seq as u64, *raw);
+            if seq % pop_every == 0 {
+                prop_assert_eq!(wheel.pop(), reference.pop());
+            }
+        }
+        prop_assert_eq!(wheel.peak_len(), reference.peak_len());
+    }
+}

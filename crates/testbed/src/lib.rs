@@ -70,6 +70,20 @@ pub struct TestbedResult {
     pub wifi_collisions: u64,
 }
 
+impl TestbedResult {
+    /// The result as ordered JSON. Every field of a testbed run is
+    /// simulation-derived (nothing host-measured), so the whole value is
+    /// deterministic: two runs with one seed must serialize byte-identically.
+    pub fn to_deterministic_json(&self) -> djson::Json {
+        djson::Json::obj([
+            ("devs", djson::Json::U64(self.devs as u64)),
+            ("avg_received_data_rate_kbps", djson::Json::F64(self.avg_received_data_rate_kbps)),
+            ("infected", djson::Json::U64(self.infected as u64)),
+            ("wifi_collisions", djson::Json::U64(self.wifi_collisions)),
+        ])
+    }
+}
+
 /// Builds and runs the physical-testbed scenario.
 ///
 /// Topology: every Pi is a station on one shared Wi-Fi channel whose

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, full test suite, and a smoke run of the performance
+# snapshot (which also regenerates results/BENCH_netsim.json and fails
+# loudly if the bench harness rots).
+#
+# The workspace resolves entirely from in-tree path dependencies (see
+# "Offline builds" in README.md), so this runs without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo run --release --offline -p ddosim-bench --bin perfsnap -- --smoke

@@ -59,6 +59,42 @@ fn churn_runs_are_also_deterministic() {
     assert_eq!(a.per_second_kbits, b.per_second_kbits);
 }
 
+/// The strongest form of the reproducibility claim: two runs with the same
+/// seed serialize to *byte-identical* JSON (host-measured fields such as
+/// memory and wall-clock time excluded). Field-wise equality can miss a
+/// nondeterministic field nobody thought to compare; byte equality of the
+/// full deterministic projection cannot.
+#[test]
+fn identical_seed_byte_identical_serialization() {
+    let a = run(42);
+    let b = run(42);
+    let ja = a.to_deterministic_json().to_string_compact();
+    let jb = b.to_deterministic_json().to_string_compact();
+    assert_eq!(ja.as_bytes(), jb.as_bytes(), "star-topology runs must serialize identically");
+}
+
+#[test]
+fn testbed_byte_identical_serialization() {
+    let make = || {
+        let base = ddosim::SimulationConfig {
+            devs: 4,
+            attack_at: Duration::from_secs(30),
+            attack: AttackSpec::udp_plain(Duration::from_secs(20)),
+            sim_time: Duration::from_secs(60),
+            seed: 31,
+            ..ddosim::SimulationConfig::default()
+        };
+        testbed::run_testbed(testbed::TestbedConfig {
+            base,
+            ..testbed::TestbedConfig::default()
+        })
+        .expect("valid configuration")
+    };
+    let ja = make().to_deterministic_json().to_string_compact();
+    let jb = make().to_deterministic_json().to_string_compact();
+    assert_eq!(ja.as_bytes(), jb.as_bytes(), "Wi-Fi testbed runs must serialize identically");
+}
+
 #[test]
 fn testbed_model_is_deterministic() {
     let make = || {
