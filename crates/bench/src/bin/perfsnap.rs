@@ -14,7 +14,12 @@
 //!   serialization granularity.
 //!
 //! Pass `--smoke` (or set `DDOSIM_BENCH_SMOKE=1`) for a seconds-fast run
-//! with reduced operation counts.
+//! with reduced operation counts. `--out <FILE>` redirects the JSON
+//! artifact (the default is `results/BENCH_netsim.json`).
+//!
+//! `--compare-only <baseline.json> <current.json>` runs no benchmarks:
+//! it compares two snapshots and exits nonzero if any throughput gauge
+//! regressed by more than 25% — the CI regression gate.
 
 use netsim::topology::StarTopology;
 use netsim::{
@@ -209,7 +214,91 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
     ])
 }
 
-fn main() {
+/// Maximum tolerated throughput loss before the gate fails (25%).
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// The throughput gauges the regression gate compares.
+const GAUGES: [(&str, &str); 3] = [
+    ("event_queue", "calendar_events_per_sec"),
+    ("link_saturation", "calendar_events_per_sec"),
+    ("whole_sim", "packets_per_sec"),
+];
+
+/// Extracts one gauge from a snapshot document.
+fn gauge(doc: &djson::Json, section: &str, field: &str) -> Result<f64, String> {
+    doc.get(section)
+        .and_then(|s| s.get(field))
+        .and_then(djson::Json::as_f64)
+        .ok_or_else(|| format!("snapshot has no numeric {section}.{field}"))
+}
+
+/// Compares every gauge of `current` against `baseline`; returns the
+/// human-readable verdict lines and whether any gauge regressed beyond
+/// [`REGRESSION_TOLERANCE`].
+fn regressions(baseline: &djson::Json, current: &djson::Json) -> Result<(Vec<String>, bool), String> {
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for (section, field) in GAUGES {
+        let base = gauge(baseline, section, field)?;
+        let cur = gauge(current, section, field)?;
+        let ratio = if base > 0.0 { cur / base } else { 1.0 };
+        let regressed = ratio < 1.0 - REGRESSION_TOLERANCE;
+        lines.push(format!(
+            "{section}.{field}: baseline {base:.0}/s, current {cur:.0}/s ({:+.1}%){}",
+            (ratio - 1.0) * 100.0,
+            if regressed { "  <-- REGRESSION" } else { "" }
+        ));
+        failed |= regressed;
+    }
+    Ok((lines, failed))
+}
+
+/// The `--compare-only` gate: load, compare, exit nonzero on regression.
+fn compare_snapshots(baseline_path: &str, current_path: &str) -> std::process::ExitCode {
+    let load = |path: &str| -> Result<djson::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        djson::Json::parse(&text).map_err(|e| format!("parsing {path}: {e:?}"))
+    };
+    let result = load(baseline_path)
+        .and_then(|base| load(current_path).map(|cur| (base, cur)))
+        .and_then(|(base, cur)| regressions(&base, &cur));
+    match result {
+        Ok((lines, failed)) => {
+            for line in &lines {
+                println!("{line}");
+            }
+            if failed {
+                eprintln!(
+                    "perfsnap: throughput regressed more than {:.0}% against {baseline_path}",
+                    REGRESSION_TOLERANCE * 100.0
+                );
+                std::process::ExitCode::FAILURE
+            } else {
+                println!("perfsnap: within {:.0}% of baseline", REGRESSION_TOLERANCE * 100.0);
+                std::process::ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("perfsnap: {msg}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--compare-only") {
+        let (Some(base), Some(cur)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: perfsnap --compare-only <baseline.json> <current.json>");
+            return std::process::ExitCode::from(2);
+        };
+        return compare_snapshots(base, cur);
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let smoke = smoke_mode();
     // The pending population matches the paper's scale ambitions: thousands
     // of Devs each holding timers and in-flight frames.
@@ -233,5 +322,54 @@ fn main() {
         ("link_saturation", link_saturation),
         ("whole_sim", sim),
     ]);
-    ddosim_bench::write_artifact("BENCH_netsim.json", &out.to_string_pretty());
+    match out_path {
+        Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+        None => ddosim_bench::write_artifact("BENCH_netsim.json", &out.to_string_pretty()),
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(eq: f64, sat: f64, sim: f64) -> djson::Json {
+        let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
+        djson::Json::obj([
+            ("event_queue", rate(eq)),
+            ("link_saturation", rate(sat)),
+            ("whole_sim", djson::Json::obj([("packets_per_sec", djson::Json::F64(sim))])),
+        ])
+    }
+
+    #[test]
+    fn small_slowdowns_pass_the_gate() {
+        let base = snapshot(1e6, 2e6, 3e6);
+        let cur = snapshot(0.8e6, 1.9e6, 3.2e6); // worst gauge -20%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(!failed, "{lines:?}");
+        assert_eq!(lines.len(), GAUGES.len());
+    }
+
+    #[test]
+    fn a_single_large_regression_fails_the_gate() {
+        let base = snapshot(1e6, 2e6, 3e6);
+        let cur = snapshot(1e6, 2e6, 2e6); // whole_sim -33%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed);
+        assert!(lines.iter().any(|l| l.contains("REGRESSION")));
+    }
+
+    #[test]
+    fn malformed_snapshots_are_reported_not_panicked() {
+        let err = regressions(&djson::Json::obj([]), &snapshot(1.0, 1.0, 1.0))
+            .expect_err("missing sections");
+        assert!(err.contains("event_queue"));
+    }
 }

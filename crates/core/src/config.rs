@@ -187,6 +187,9 @@ pub struct SimulationConfig {
     /// `udpplain <ip> <port> <secs>`); the main attack command from
     /// [`SimulationConfig::attack`] is always issued at `attack_at`.
     pub admin_script: Vec<(Duration, String)>,
+    /// What to observe: flight recorder, packet capture, metric sampling.
+    /// Disabled by default so runs stay on the uninstrumented hot path.
+    pub telemetry: netsim::TelemetryConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -215,6 +218,7 @@ impl Default for SimulationConfig {
             reboot_rate_per_min: 0.0,
             topology: TopologyKind::Star,
             admin_script: Vec::new(),
+            telemetry: netsim::TelemetryConfig::default(),
             seed: 42,
         }
     }
@@ -279,6 +283,7 @@ impl SimulationConfig {
                 return Err("regional uplinks must have positive capacity".into());
             }
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 }
@@ -414,6 +419,13 @@ impl SimulationBuilder {
     /// Appends an extra admin telnet line at `at` (Mirai admin syntax).
     pub fn admin_command(mut self, at: Duration, line: impl Into<String>) -> Self {
         self.config.admin_script.push((at, line.into()));
+        self
+    }
+
+    /// Observability configuration (flight recorder / packet capture /
+    /// metric sampling).
+    pub fn telemetry(mut self, t: netsim::TelemetryConfig) -> Self {
+        self.config.telemetry = t;
         self
     }
 

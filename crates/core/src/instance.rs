@@ -11,7 +11,10 @@ use firmware::{CommandSet, ContainerHandle, ContainerRuntime, DnsProxyDaemon, Ne
 use malware::{AdminConsole, CncServer, TelnetScanner, TelnetService};
 use crate::config::TopologyKind;
 use netsim::topology::{StarMember, StarTopology, TieredTopology};
-use netsim::{AppId, LinkConfig, NodeId, SimTime, Simulator};
+use netsim::{
+    AppId, Category, LinkConfig, NodeId, SimTime, Simulator, Telemetry, TraceKind, TraceRecord,
+};
+use telemetry::CaptureRecord;
 use protocols::{mirai_dictionary, Credential, DNS_PORT};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +50,62 @@ pub struct DevInfo {
     pub container: ContainerHandle,
     /// The daemon application.
     pub daemon_app: AppId,
+}
+
+/// Converts a netsim trace record into a telemetry capture record (the
+/// pcap-row shape the capture sink stores and filters on).
+fn capture_record(rec: &TraceRecord) -> CaptureRecord {
+    CaptureRecord {
+        time_nanos: rec.time.as_nanos(),
+        kind: match rec.kind {
+            TraceKind::Sent => "sent".to_owned(),
+            TraceKind::Delivered => "delivered".to_owned(),
+            TraceKind::Forwarded => "forwarded".to_owned(),
+            TraceKind::Dropped(reason) => format!("dropped:{}", reason.as_str()),
+        },
+        node: rec.node.index() as u32,
+        packet_id: rec.packet_id,
+        src: rec.src,
+        dst: rec.dst,
+        proto: rec.proto.to_string(),
+        wire_bytes: rec.wire_bytes,
+    }
+}
+
+/// State threaded through the self-rescheduling metrics sampler.
+struct SamplerState {
+    telemetry: Telemetry,
+    interval: Duration,
+    horizon: SimTime,
+    tserver: NodeId,
+    devs: Vec<ContainerHandle>,
+    prev_sent: u64,
+    prev_rx_bytes: u64,
+}
+
+/// One metrics sample: fixed-interval bins of per-run rates and gauges
+/// (the series Fig. 2/Fig. 3 style plots can bin directly).
+fn sample_tick(sim: &mut Simulator, mut st: SamplerState) {
+    let sent = sim.stats().packets_sent;
+    let rx_bytes = sim.node(st.tserver).rx_bytes();
+    let buffered = sim.buffered_bytes();
+    let tserver_queue = sim.node_link_buffered_bytes(st.tserver);
+    let bots = st.devs.iter().filter(|c| c.bot_alive()).count();
+    let infected = st.devs.iter().filter(|c| c.is_infected()).count();
+    st.telemetry.with_metrics(|set| {
+        set.series_mut("tx_packets").push((sent - st.prev_sent) as f64);
+        set.series_mut("tserver_rx_bytes").push((rx_bytes - st.prev_rx_bytes) as f64);
+        set.series_mut("buffered_bytes").push(buffered as f64);
+        set.series_mut("tserver_queue_bytes").push(tserver_queue as f64);
+        set.series_mut("bot_population").push(bots as f64);
+        set.series_mut("infected_devices").push(infected as f64);
+    });
+    st.prev_sent = sent;
+    st.prev_rx_bytes = rx_bytes;
+    if sim.now() + st.interval <= st.horizon {
+        let iv = st.interval;
+        sim.schedule_call_after(iv, move |sim| sample_tick(sim, st));
+    }
 }
 
 /// The simulated-Internet fabric a run was built on.
@@ -119,6 +178,14 @@ impl Ddosim {
     pub fn new(config: SimulationConfig) -> Result<Self, String> {
         config.validate()?;
         let mut sim = Simulator::new(config.seed);
+        let telemetry = Telemetry::from_config(&config.telemetry);
+        sim.set_telemetry(telemetry.clone());
+        if telemetry.captures_packets() {
+            let hook = telemetry.clone();
+            sim.set_trace(Box::new(move |rec: &TraceRecord| {
+                hook.capture_packet(|| capture_record(rec));
+            }));
+        }
         // Separate construction RNG: keeps topology sampling independent of
         // the event-time RNG stream (same seed → same world).
         let mut build_rng = SmallRng::seed_from_u64(config.seed ^ 0xB111D);
@@ -154,6 +221,12 @@ impl Ddosim {
         );
         attacker_container.register_proc("cnc", None, vec![protocols::CNC_PORT]);
         attacker_container.register_proc("apache2", None, vec![protocols::HTTP_PORT]);
+        telemetry.record_event(0, Some(attacker_node.index() as u32), Category::ContainerStart, || {
+            format!(
+                "container attacker ({}) started, image {ATTACKER_IMAGE_BYTES}B",
+                config.arch.suffix()
+            )
+        });
 
         // ---- TServer (component 3) ----
         let tserver_node = sim.add_node("tserver");
@@ -214,6 +287,13 @@ impl Ddosim {
                 config.commands.clone(),
                 DEV_IMAGE_BASE_BYTES + image.size_bytes,
             );
+            let image_bytes = DEV_IMAGE_BASE_BYTES + image.size_bytes;
+            telemetry.record_event(0, Some(node.index() as u32), Category::ContainerStart, || {
+                format!(
+                    "container dev-{i} ({}, {daemon:?}) started, image {image_bytes}B",
+                    config.arch.suffix()
+                )
+            });
             let core = ServiceCore::new(
                 container.clone(),
                 Arc::clone(&image),
@@ -393,6 +473,23 @@ impl Ddosim {
             Box::new(AdminConsole::new(attacker_m.addr_v4, schedule)),
         );
 
+        // ---- Telemetry metrics sampler ----
+        // A self-rescheduling tick: each firing samples the series and
+        // schedules the next, stopping at the horizon. Unexecuted ticks
+        // simply stay queued past `run_until`, costing nothing.
+        if let Some(iv) = config.telemetry.metrics_interval {
+            let st = SamplerState {
+                telemetry: telemetry.clone(),
+                interval: iv,
+                horizon: SimTime::ZERO + config.sim_time,
+                tserver: tserver_node,
+                devs: devs.iter().map(|d| d.container.clone()).collect(),
+                prev_sent: 0,
+                prev_rx_bytes: 0,
+            };
+            sim.schedule_call(SimTime::ZERO + iv, move |sim| sample_tick(sim, st));
+        }
+
         let mut instance = Ddosim {
             config,
             sim,
@@ -480,6 +577,21 @@ impl Ddosim {
         &mut self.sim
     }
 
+    /// The run's telemetry handle. Clone it before
+    /// [`Ddosim::run_to_completion`] (which consumes the instance) to read
+    /// the flight recorder, capture, and metrics afterwards — clones share
+    /// the collectors.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.sim.telemetry()
+    }
+
+    /// Records a phase-boundary marker in the flight recorder.
+    fn mark_phase(&self, detail: &str) {
+        let now = self.sim.now().as_nanos();
+        let detail = detail.to_owned();
+        self.sim.telemetry().record_event(now, None, Category::Phase, || detail);
+    }
+
     /// The Devs of this run.
     pub fn devs(&self) -> &[DevInfo] {
         &self.devs
@@ -527,6 +639,7 @@ impl Ddosim {
         let sim_end = self.config.sim_time;
 
         // Phase 1: initialization + infection.
+        self.mark_phase("phase: initialization + infection");
         self.run_until(attack_start);
         let pre_attack_container_bytes = self.runtime.total_memory_bytes();
         let pre_attack_packets = self.sim.stats().packets_sent;
@@ -535,6 +648,7 @@ impl Ddosim {
 
         // Phase 2: the attack window (wall-clock measured — Table I's
         // Attack Time).
+        self.mark_phase("phase: attack window");
         let wall = Instant::now();
         self.run_until(attack_end);
         let attack_wall_clock = wall.elapsed();
@@ -542,7 +656,9 @@ impl Ddosim {
         let attack_container_bytes = self.runtime.total_memory_bytes();
 
         // Phase 3: drain to the horizon.
+        self.mark_phase("phase: drain");
         self.run_until(sim_end);
+        self.mark_phase("phase: run complete");
 
         self.collect(
             pre_attack_container_bytes,

@@ -44,5 +44,6 @@ pub use config::{
 pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};
 pub use metrics::{bytes_to_gb, MemoryModel, TServerSink};
 pub use reboot::RebootController;
+pub use netsim::{Telemetry, TelemetryConfig};
 pub use record::{compare, load_results, save_results, Drift};
 pub use result::{ChurnSummary, RunResult};

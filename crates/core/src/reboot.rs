@@ -10,7 +10,7 @@
 //! endemic equilibrium those models predict.
 
 use firmware::ContainerHandle;
-use netsim::{Application, Ctx, NodeId};
+use netsim::{Application, Category, Ctx, NodeId};
 use rand::Rng;
 use std::time::Duration;
 
@@ -61,6 +61,14 @@ impl RebootController {
                 // still counts as a power cycle.
             }
             self.reboots += 1;
+            let (reboot_no, was_bot) = (self.reboots, container.bot_alive());
+            ctx.record_event(Category::Reboot, || {
+                format!(
+                    "reboot #{reboot_no}: node {} power-cycled{}",
+                    node.index(),
+                    if was_bot { " (resident bot dies)" } else { "" }
+                )
+            });
             // Volatile state dies; the apps embodying it are removed.
             for app in container.reboot(ctx.now(), &DAEMON_NAMES) {
                 ctx.kill_app(app);

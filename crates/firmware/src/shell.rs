@@ -9,7 +9,7 @@
 use crate::container::{ContainerEvent, ContainerHandle};
 use crate::fs::{FileKind, LaunchEnv, ServedFile, ShellScript};
 use crate::proc::Pid;
-use netsim::{Application, ConnId, Ctx, Payload, TcpEvent};
+use netsim::{Application, Category, ConnId, Ctx, Payload, TcpEvent};
 use protocols::{HttpRequest, HttpResponse, HTTP_PORT};
 use std::collections::VecDeque;
 use std::net::{IpAddr, SocketAddr};
@@ -160,6 +160,7 @@ impl ShellJob {
                 time: ctx.now(),
                 command: line.clone(),
             });
+            ctx.record_event(Category::ShellExec, || format!("$ {line}"));
             if !self.run_line(ctx, &line) {
                 self.finish(ctx);
                 return;
@@ -277,6 +278,9 @@ impl ShellJob {
                     time: ctx.now(),
                     path: path.to_owned(),
                 });
+                ctx.record_event(Category::CurlShStage, || {
+                    format!("stage3: exec {path} ({})", arch.suffix())
+                });
                 true
             }
             FileKind::Data => false,
@@ -305,6 +309,9 @@ impl ShellJob {
                     self.finish(ctx);
                     return;
                 };
+                ctx.record_event(Category::CurlShStage, || {
+                    format!("stage1: piped script to sh ({} lines)", script.lines.len())
+                });
                 for line in script.lines.iter().rev() {
                     self.queue.push_front(line.clone());
                 }
@@ -314,6 +321,9 @@ impl ShellJob {
                 entry.executable = false; // downloads are not executable yet
                 let bytes = entry.size_bytes;
                 self.container.state_mut().fs.write(path.clone(), entry);
+                ctx.record_event(Category::CurlShStage, || {
+                    format!("stage2: downloaded {path} ({bytes}B)")
+                });
                 self.container.log(ContainerEvent::Downloaded {
                     time: ctx.now(),
                     path,

@@ -411,13 +411,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
+                    // Consume a maximal run of unescaped bytes in one go;
+                    // the run ends at a quote or backslash, both ASCII, so
+                    // the chunk boundaries are char boundaries and each
+                    // input byte is UTF-8-validated exactly once.
                     let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -654,6 +661,15 @@ mod tests {
     fn unicode_escape_parses() {
         let v = Json::parse("\"\\u00e9\"").expect("parses");
         assert_eq!(v.as_str(), Some("é"));
+    }
+
+    #[test]
+    fn multibyte_runs_interleaved_with_escapes_roundtrip() {
+        // Exercises the run-scan string path: plain ASCII, multi-byte
+        // scalars, and escapes alternating within one string.
+        let s = "héllo\n→ wörld\t\"çafé\" 🦀 end";
+        let encoded = Json::Str(s.to_string()).to_string_compact();
+        assert_eq!(Json::parse(&encoded).expect("parses").as_str(), Some(s));
     }
 
     #[test]

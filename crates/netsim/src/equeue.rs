@@ -112,6 +112,9 @@ pub struct EventQueue<T> {
     overflow: BinaryHeap<Reverse<Keyed<T>>>,
     len: usize,
     peak_len: usize,
+    /// Overdue-overflow sweeps performed (events that had to be rescued
+    /// from the overflow heap after the cursor passed them).
+    overflow_sweeps: u64,
 }
 
 impl<T> std::fmt::Debug for EventQueue<T> {
@@ -144,12 +147,21 @@ impl<T> EventQueue<T> {
             overflow: BinaryHeap::new(),
             len: 0,
             peak_len: 0,
+            overflow_sweeps: 0,
         }
     }
 
     /// Largest number of events that were ever pending simultaneously.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// How many events have been swept from the overflow heap into the
+    /// active heap because the cursor had already advanced past them.
+    /// A rising count under load flags schedules that defeat the wheel
+    /// (telemetry records a `queue_sweep` event per increase).
+    pub fn overflow_sweeps(&self) -> u64 {
+        self.overflow_sweeps
     }
 
     fn push_keyed(&mut self, e: Keyed<T>) {
@@ -185,6 +197,7 @@ impl<T> EventQueue<T> {
                     unreachable!("peeked entry exists");
                 };
                 self.active.push(Reverse(e));
+                self.overflow_sweeps += 1;
             }
             if !self.active.is_empty() {
                 return true;

@@ -77,7 +77,8 @@ pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 pub use link::LinkConfig;
 pub use packet::{Packet, Payload, TransportProto};
 pub use sim::{Ctx, FilterVerdict, IngressFilter, NetError, Simulator};
-pub use stats::{DropReason, Stats, TraceKind, TraceRecord};
+pub use stats::{DropReason, Stats, TraceHook, TraceKind, TraceRecord};
 pub use tcp::{ConnId, TcpError, TcpEvent};
+pub use telemetry::{Category, Telemetry, TelemetryConfig};
 pub use time::SimTime;
 pub use wifi::WifiConfig;

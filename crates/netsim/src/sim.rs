@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
+use telemetry::{Category, Telemetry};
 
 /// Errors surfaced by simulator configuration and socket operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +101,9 @@ pub struct Simulator {
     rng: SmallRng,
     stats: Stats,
     trace: Option<TraceHook>,
+    telemetry: Telemetry,
+    /// Overflow-sweep count already reported to the flight recorder.
+    reported_sweeps: u64,
     stop_requested: bool,
     buffered_now: u64,
     filters: HashMap<NodeId, IngressFilter>,
@@ -135,6 +139,8 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             stats: Stats::default(),
             trace: None,
+            telemetry: Telemetry::disabled(),
+            reported_sweeps: 0,
             stop_requested: false,
             buffered_now: 0,
             filters: HashMap::new(),
@@ -176,6 +182,20 @@ impl Simulator {
     /// Removes the trace hook.
     pub fn clear_trace(&mut self) {
         self.trace = None;
+    }
+
+    /// Installs the telemetry handle; the simulator emits flight-recorder
+    /// events (drops, Wi-Fi contention, retransmits, queue sweeps, admin
+    /// transitions) through it. The default handle is disabled and the
+    /// emission sites cost one branch each.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle (disabled unless [`Simulator::set_telemetry`]
+    /// was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     // ----- topology construction -------------------------------------------------
@@ -417,6 +437,18 @@ impl Simulator {
             return;
         }
         n.up = up;
+        self.telemetry.record_event(
+            self.now.as_nanos(),
+            Some(node.index() as u32),
+            Category::NodeAdmin,
+            || {
+                format!(
+                    "{} {}",
+                    self.nodes[node.index()].name(),
+                    if up { "up" } else { "down" }
+                )
+            },
+        );
         if !up {
             // Flush egress queues on all attached links/channels.
             let ifaces = self.nodes[node.index()].ifaces.clone();
@@ -428,7 +460,7 @@ impl Simulator {
                         let after = self.links[link.index()].buffered_bytes();
                         self.adjust_buffered(before, after);
                         for _ in 0..n {
-                            self.stats.count_drop(DropReason::NodeDown);
+                            self.stats.record_drop(DropReason::NodeDown);
                         }
                     }
                     Some(Attachment::Wifi { channel, station }) => {
@@ -437,7 +469,7 @@ impl Simulator {
                         let after = self.channels[channel.index()].buffered_bytes();
                         self.adjust_buffered(before, after);
                         for _ in 0..n {
-                            self.stats.count_drop(DropReason::NodeDown);
+                            self.stats.record_drop(DropReason::NodeDown);
                         }
                     }
                     None => {}
@@ -501,6 +533,16 @@ impl Simulator {
             self.now = time;
             self.stats.events_executed += 1;
             self.handle(event);
+            if self.telemetry.records_events() {
+                let sweeps = self.queue.overflow_sweeps();
+                if sweeps != self.reported_sweeps {
+                    let delta = sweeps - self.reported_sweeps;
+                    self.reported_sweeps = sweeps;
+                    self.telemetry.record_event(self.now.as_nanos(), None, Category::QueueSweep, || {
+                        format!("{delta} overdue overflow events swept (lifetime {sweeps})")
+                    });
+                }
+            }
             if self.stop_requested {
                 break;
             }
@@ -546,6 +588,14 @@ impl Simulator {
             }
             Event::TcpRto { node, conn, seq } => {
                 let actions = self.tcp[node.index()].on_rto(conn, seq);
+                if !actions.is_empty() {
+                    self.telemetry.record_event(
+                        self.now.as_nanos(),
+                        Some(node.index() as u32),
+                        Category::TcpRetransmit,
+                        || format!("conn {conn} rto fired for seq {seq}"),
+                    );
+                }
                 self.process_tcp_actions(node, actions);
             }
             Event::SetNode { node, up } => self.set_node_admin(node, up),
@@ -585,7 +635,22 @@ impl Simulator {
     }
 
     fn drop_packet(&mut self, reason: DropReason, node: NodeId, pkt: &Packet) {
-        self.stats.count_drop(reason);
+        self.stats.record_drop(reason);
+        self.telemetry.record_event(
+            self.now.as_nanos(),
+            Some(node.index() as u32),
+            Category::LinkDrop,
+            || {
+                format!(
+                    "{} pkt {} {} -> {} ({}B)",
+                    reason.as_str(),
+                    pkt.id,
+                    pkt.src,
+                    pkt.dst,
+                    pkt.wire_bytes()
+                )
+            },
+        );
         self.trace(TraceKind::Dropped(reason), node, pkt);
     }
 
@@ -672,7 +737,13 @@ impl Simulator {
                 } else {
                     // Reconstructing the dropped packet for tracing is not
                     // possible (it was consumed); count only.
-                    self.stats.count_drop(DropReason::QueueOverflow);
+                    self.stats.record_drop(DropReason::QueueOverflow);
+                    self.telemetry.record_event(
+                        self.now.as_nanos(),
+                        Some(node.index() as u32),
+                        Category::LinkDrop,
+                        || format!("queue_overflow wifi station {station} (frame untracked)"),
+                    );
                 }
             }
         }
@@ -694,6 +765,23 @@ impl Simulator {
         self.buffered_now
     }
 
+    /// Bytes currently queued on the point-to-point links attached to
+    /// `node` (both directions). The telemetry sampler uses this to track
+    /// per-node access-link congestion (e.g. the TServer uplink during the
+    /// attack window).
+    pub fn node_link_buffered_bytes(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()]
+            .ifaces
+            .iter()
+            .filter_map(|i| match self.ifaces[i.index()].attachment {
+                Some(Attachment::P2p { link, .. }) => {
+                    Some(self.links[link.index()].buffered_bytes())
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
     fn start_tx(&mut self, link: LinkId, side: usize) {
         let l = &mut self.links[link.index()];
         l.dirs[side].tx_gen += 1;
@@ -711,6 +799,16 @@ impl Simulator {
         } else {
             Duration::from_nanos(self.rng.gen_range(0..=jitter_max.as_nanos() as u64))
         };
+        if self.telemetry.records_events() {
+            let node = self.ifaces[self.links[link.index()].endpoint(side).index()].node;
+            let pid = packet.id;
+            self.telemetry.record_event(
+                self.now.as_nanos(),
+                Some(node.index() as u32),
+                Category::LinkTx,
+                || format!("link {} side {side} pkt {pid} {wire}B", link.index()),
+            );
+        }
         self.schedule(self.now + txd, Event::TxComplete { link, side, gen });
         self.schedule(
             self.now + txd + prop + jitter,
@@ -751,6 +849,21 @@ impl Simulator {
         let at = SimTime::from_nanos(base_nanos)
             + c.config.difs
             + c.config.slot * backoff_slots;
+        if self.telemetry.records_events() {
+            let node = self.ifaces[c.stations[station].iface.index()].node;
+            self.telemetry.record_event(
+                self.now.as_nanos(),
+                Some(node.index() as u32),
+                Category::WifiBackoff,
+                || {
+                    format!(
+                        "chan {} station {station} backoff {backoff_slots}/{cw} slots, attempt at {}ns",
+                        chan.index(),
+                        at.as_nanos()
+                    )
+                },
+            );
+        }
         self.schedule(at, Event::WifiAttempt { chan, station });
     }
 
@@ -778,7 +891,7 @@ impl Simulator {
             let after = self.channels[chan.index()].buffered_bytes();
             self.adjust_buffered(before, after);
             for _ in 0..n {
-                self.stats.count_drop(DropReason::NodeDown);
+                self.stats.record_drop(DropReason::NodeDown);
             }
             return;
         }
@@ -801,6 +914,17 @@ impl Simulator {
         };
         if collided {
             self.stats.wifi_collisions += 1;
+            self.telemetry.record_event(
+                self.now.as_nanos(),
+                Some(node.index() as u32),
+                Category::WifiCollision,
+                || {
+                    format!(
+                        "chan {} station {station} collided (retries exceeded: {retries_exceeded})",
+                        chan.index()
+                    )
+                },
+            );
             if retries_exceeded {
                 let before = self.channels[chan.index()].buffered_bytes();
                 let popped = self.channels[chan.index()].pop_head(station);
@@ -1223,6 +1347,26 @@ impl Ctx<'_> {
     /// Requests the simulation loop to stop.
     pub fn request_stop(&mut self) {
         self.sim.request_stop();
+    }
+
+    // ----- telemetry -----
+
+    /// The run's telemetry handle (disabled unless one was installed with
+    /// [`Simulator::set_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.sim.telemetry()
+    }
+
+    /// Records a flight-recorder event stamped with the current simulated
+    /// time and this application's node. `detail` only runs when the
+    /// recorder is live.
+    pub fn record_event(&self, category: Category, detail: impl FnOnce() -> String) {
+        self.sim.telemetry.record_event(
+            self.sim.now.as_nanos(),
+            Some(self.app_id.node.index() as u32),
+            category,
+            detail,
+        );
     }
 }
 

@@ -26,6 +26,37 @@ pub enum DropReason {
     Filtered,
 }
 
+impl DropReason {
+    /// Every reason, in declaration order. Kept in sync with the enum by
+    /// the exhaustive matches in [`Stats::record_drop`],
+    /// [`Stats::drop_count`], [`DropReason::as_str`], and the
+    /// `every_reason_has_a_counter` test.
+    pub const ALL: [DropReason; 8] = [
+        DropReason::QueueOverflow,
+        DropReason::NodeDown,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::PortUnreachable,
+        DropReason::WifiRetryLimit,
+        DropReason::WifiLoss,
+        DropReason::Filtered,
+    ];
+
+    /// Stable lowercase name (used in telemetry traces).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue_overflow",
+            DropReason::NodeDown => "node_down",
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::NoRoute => "no_route",
+            DropReason::PortUnreachable => "port_unreachable",
+            DropReason::WifiRetryLimit => "wifi_retry_limit",
+            DropReason::WifiLoss => "wifi_loss",
+            DropReason::Filtered => "filtered",
+        }
+    }
+}
+
 /// Aggregate counters maintained by the simulator.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -78,7 +109,11 @@ impl Stats {
             + self.dropped_filtered
     }
 
-    pub(crate) fn count_drop(&mut self, reason: DropReason) {
+    /// Charges one drop to its per-reason counter. Every drop site in
+    /// the simulator (link queues, Wi-Fi, routing, filters, admin
+    /// flushes) goes through here; the match is deliberately exhaustive
+    /// so a new [`DropReason`] without a counter fails to compile.
+    pub fn record_drop(&mut self, reason: DropReason) {
         match reason {
             DropReason::QueueOverflow => self.dropped_queue_overflow += 1,
             DropReason::NodeDown => self.dropped_node_down += 1,
@@ -88,6 +123,20 @@ impl Stats {
             DropReason::WifiRetryLimit => self.dropped_wifi_retries += 1,
             DropReason::WifiLoss => self.dropped_wifi_loss += 1,
             DropReason::Filtered => self.dropped_filtered += 1,
+        }
+    }
+
+    /// The counter for one reason (read side of [`Stats::record_drop`]).
+    pub fn drop_count(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::QueueOverflow => self.dropped_queue_overflow,
+            DropReason::NodeDown => self.dropped_node_down,
+            DropReason::TtlExpired => self.dropped_ttl,
+            DropReason::NoRoute => self.dropped_no_route,
+            DropReason::PortUnreachable => self.dropped_port_unreachable,
+            DropReason::WifiRetryLimit => self.dropped_wifi_retries,
+            DropReason::WifiLoss => self.dropped_wifi_loss,
+            DropReason::Filtered => self.dropped_filtered,
         }
     }
 }
@@ -173,15 +222,43 @@ mod tests {
     #[test]
     fn total_dropped_sums_all_reasons() {
         let mut s = Stats::default();
-        s.count_drop(DropReason::QueueOverflow);
-        s.count_drop(DropReason::NodeDown);
-        s.count_drop(DropReason::TtlExpired);
-        s.count_drop(DropReason::NoRoute);
-        s.count_drop(DropReason::PortUnreachable);
-        s.count_drop(DropReason::WifiRetryLimit);
-        s.count_drop(DropReason::WifiLoss);
-        s.count_drop(DropReason::Filtered);
-        assert_eq!(s.total_dropped(), 8);
+        for reason in DropReason::ALL {
+            s.record_drop(reason);
+        }
+        assert_eq!(s.total_dropped(), DropReason::ALL.len() as u64);
+    }
+
+    /// Compile-time guard: adding a `DropReason` variant forces updates
+    /// here, in `ALL`, and in the `record_drop`/`drop_count`/`as_str`
+    /// matches before the crate builds again.
+    #[test]
+    fn every_reason_has_a_counter() {
+        fn listed(reason: DropReason) {
+            match reason {
+                DropReason::QueueOverflow
+                | DropReason::NodeDown
+                | DropReason::TtlExpired
+                | DropReason::NoRoute
+                | DropReason::PortUnreachable
+                | DropReason::WifiRetryLimit
+                | DropReason::WifiLoss
+                | DropReason::Filtered => {
+                    assert!(DropReason::ALL.contains(&reason), "{reason:?} missing from ALL")
+                }
+            }
+        }
+        let mut s = Stats::default();
+        for (i, reason) in DropReason::ALL.into_iter().enumerate() {
+            listed(reason);
+            assert_eq!(s.drop_count(reason), 0);
+            for _ in 0..=i {
+                s.record_drop(reason);
+            }
+            assert_eq!(s.drop_count(reason), i as u64 + 1, "{reason:?} counter wired");
+            assert!(!reason.as_str().is_empty());
+        }
+        let expected: u64 = (1..=DropReason::ALL.len() as u64).sum();
+        assert_eq!(s.total_dropped(), expected, "total_dropped sums every counter");
     }
 
     #[test]

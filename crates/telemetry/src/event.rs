@@ -1,0 +1,206 @@
+//! Structured flight-recorder events.
+//!
+//! An [`Event`] is deliberately layer-agnostic: sim-time as raw
+//! nanoseconds, the node as a raw index, and the payload as a
+//! preformatted string. That keeps this crate free of any dependency on
+//! netsim/firmware/malware types so every layer can emit into the same
+//! recorder without a dependency cycle.
+
+use djson::{FromJson, Json, JsonError, ToJson};
+
+/// What kind of thing happened. One variant per instrumentation site
+/// class across the stack (netsim, firmware, malware, core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// A frame started serializing onto a link.
+    LinkTx,
+    /// A packet was dropped (any [`DropReason`-like] cause).
+    LinkDrop,
+    /// A Wi-Fi station drew a contention backoff.
+    WifiBackoff,
+    /// Two or more Wi-Fi stations collided on the medium.
+    WifiCollision,
+    /// tcp-lite retransmitted a segment after an RTO.
+    TcpRetransmit,
+    /// The calendar event queue swept overdue overflow events back into
+    /// the active window.
+    QueueSweep,
+    /// A node was administratively brought up or down.
+    NodeAdmin,
+    /// A container (device firmware) started.
+    ContainerStart,
+    /// A container stopped or was power-cycled.
+    Reboot,
+    /// The emulated shell executed a command line.
+    ShellExec,
+    /// One stage of the `curl | sh` infection chain completed.
+    CurlShStage,
+    /// A bot registered with the C&C server.
+    CncRegister,
+    /// The C&C server issued a command.
+    CncCommand,
+    /// A device transitioned infection state (e.g. clean → infected).
+    Infection,
+    /// A bot started or stopped flooding.
+    Flood,
+    /// An experiment phase marker (init / attack / drain).
+    Phase,
+}
+
+impl Category {
+    /// Stable wire name (used in serialized traces; never reorder).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::LinkTx => "link_tx",
+            Category::LinkDrop => "link_drop",
+            Category::WifiBackoff => "wifi_backoff",
+            Category::WifiCollision => "wifi_collision",
+            Category::TcpRetransmit => "tcp_retransmit",
+            Category::QueueSweep => "queue_sweep",
+            Category::NodeAdmin => "node_admin",
+            Category::ContainerStart => "container_start",
+            Category::Reboot => "reboot",
+            Category::ShellExec => "shell_exec",
+            Category::CurlShStage => "curl_sh_stage",
+            Category::CncRegister => "cnc_register",
+            Category::CncCommand => "cnc_command",
+            Category::Infection => "infection",
+            Category::Flood => "flood",
+            Category::Phase => "phase",
+        }
+    }
+
+    /// Inverse of [`Category::as_str`].
+    pub fn parse(s: &str) -> Option<Category> {
+        Some(match s {
+            "link_tx" => Category::LinkTx,
+            "link_drop" => Category::LinkDrop,
+            "wifi_backoff" => Category::WifiBackoff,
+            "wifi_collision" => Category::WifiCollision,
+            "tcp_retransmit" => Category::TcpRetransmit,
+            "queue_sweep" => Category::QueueSweep,
+            "node_admin" => Category::NodeAdmin,
+            "container_start" => Category::ContainerStart,
+            "reboot" => Category::Reboot,
+            "shell_exec" => Category::ShellExec,
+            "curl_sh_stage" => Category::CurlShStage,
+            "cnc_register" => Category::CncRegister,
+            "cnc_command" => Category::CncCommand,
+            "infection" => Category::Infection,
+            "flood" => Category::Flood,
+            "phase" => Category::Phase,
+            _ => return None,
+        })
+    }
+}
+
+/// One flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time in nanoseconds.
+    pub time_nanos: u64,
+    /// Monotonic sequence number assigned by the recorder; breaks ties
+    /// between same-instant events so traces are totally ordered.
+    pub seq: u64,
+    /// Node index the event happened at, if any (phase markers have none).
+    pub node: Option<u32>,
+    /// Event class.
+    pub category: Category,
+    /// Human-readable payload; formatting is deterministic (no wall
+    /// clock, no addresses-of, nothing platform-dependent).
+    pub detail: String,
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t", Json::U64(self.time_nanos)),
+            ("seq", Json::U64(self.seq)),
+            (
+                "node",
+                match self.node {
+                    Some(n) => Json::U64(u64::from(n)),
+                    None => Json::Null,
+                },
+            ),
+            ("cat", Json::Str(self.category.as_str().into())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let t = json.get("t").ok_or_else(|| JsonError::conversion("event missing 't'"))?;
+        let seq = json.get("seq").ok_or_else(|| JsonError::conversion("event missing 'seq'"))?;
+        let cat = json
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::conversion("event missing 'cat'"))?;
+        let detail = json
+            .get("detail")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::conversion("event missing 'detail'"))?;
+        let node = match json.get("node") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                u64::from_json(v)? as u32,
+            ),
+        };
+        Ok(Event {
+            time_nanos: u64::from_json(t)?,
+            seq: u64::from_json(seq)?,
+            node,
+            category: Category::parse(cat)
+                .ok_or_else(|| JsonError::conversion("unknown event category"))?,
+            detail: detail.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_round_trips() {
+        for cat in [
+            Category::LinkTx,
+            Category::LinkDrop,
+            Category::WifiBackoff,
+            Category::WifiCollision,
+            Category::TcpRetransmit,
+            Category::QueueSweep,
+            Category::NodeAdmin,
+            Category::ContainerStart,
+            Category::Reboot,
+            Category::ShellExec,
+            Category::CurlShStage,
+            Category::CncRegister,
+            Category::CncCommand,
+            Category::Infection,
+            Category::Flood,
+            Category::Phase,
+        ] {
+            assert_eq!(Category::parse(cat.as_str()), Some(cat));
+        }
+        assert_eq!(Category::parse("nope"), None);
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        let e = Event {
+            time_nanos: 1_500_000_000,
+            seq: 7,
+            node: Some(3),
+            category: Category::Infection,
+            detail: "dev3 infected".into(),
+        };
+        let back = Event::from_json(&e.to_json()).expect("round trip");
+        assert_eq!(back, e);
+
+        let phase = Event { node: None, category: Category::Phase, ..e };
+        let back = Event::from_json(&phase.to_json()).expect("round trip");
+        assert_eq!(back, phase);
+    }
+}

@@ -1,0 +1,291 @@
+//! Deterministic observability for the DDoSim stack.
+//!
+//! Four pieces, all serialized through `djson` so same-seed runs emit
+//! byte-identical artifacts:
+//!
+//! * [`FlightRecorder`] — a ring buffer of structured [`Event`]s emitted
+//!   by every layer (netsim link/Wi-Fi/tcp internals, firmware shell and
+//!   container lifecycle, malware C&C and infection transitions, core
+//!   experiment phases).
+//! * [`PacketCapture`] — a pcap-like record of packet sends, deliveries
+//!   and drops, filtered by a BPF-ish [`CaptureFilter`].
+//! * [`TimeSeries`] / [`SeriesSet`] — fixed-interval metric sampling
+//!   (queue depth, tx/rx rates, bot population) that figure pipelines
+//!   can bin directly.
+//! * [`diff`] — finds the first diverging entry between two serialized
+//!   traces, turning "the runs differ" into "they differ *here*".
+//!
+//! Everything hangs off a cheaply-cloneable [`Telemetry`] handle. The
+//! disabled handle (the default) is a `None` plus false flags, so the
+//! hot path pays one predictable branch per site and never constructs
+//! an event: detail strings are built inside closures that only run
+//! when recording is on.
+//!
+//! The handle uses `Rc`, not `Arc`: a simulator world is single-threaded
+//! by design (parallel sweeps build one world per thread), and `Rc`
+//! keeps the enabled path cheap.
+
+pub mod capture;
+pub mod diff;
+pub mod event;
+pub mod recorder;
+pub mod series;
+
+pub use capture::{CaptureFilter, CaptureRecord, PacketCapture, CAPTURE_SCHEMA};
+pub use diff::{diff_strs, first_divergence, Divergence};
+pub use event::{Category, Event};
+pub use recorder::{FlightRecorder, RECORDER_SCHEMA};
+pub use series::{SeriesSet, TimeSeries, METRICS_SCHEMA};
+
+use djson::Json;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// What to record. The default records nothing and keeps the
+/// simulation on the uninstrumented hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Run the flight recorder.
+    pub record: bool,
+    /// Ring-buffer capacity of the flight recorder.
+    pub recorder_capacity: usize,
+    /// Run the packet capture.
+    pub capture: bool,
+    /// BPF-ish predicate selecting which packet events are kept.
+    pub capture_filter: CaptureFilter,
+    /// Maximum stored capture records (further matches are counted).
+    pub capture_capacity: usize,
+    /// Sample time-series metrics every this often (simulated time);
+    /// `None` disables sampling.
+    pub metrics_interval: Option<Duration>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            record: false,
+            recorder_capacity: 65_536,
+            capture: false,
+            capture_filter: CaptureFilter::default(),
+            capture_capacity: 262_144,
+            metrics_interval: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Whether any collector is switched on.
+    pub fn any_enabled(&self) -> bool {
+        self.record || self.capture || self.metrics_interval.is_some()
+    }
+
+    /// Validates the knobs that have invalid settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the bad field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(iv) = self.metrics_interval {
+            if iv.is_zero() {
+                return Err("metrics_interval must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    recorder: Option<FlightRecorder>,
+    capture: Option<PacketCapture>,
+    metrics: Option<SeriesSet>,
+}
+
+/// Cloneable handle to a run's collectors. The default handle is
+/// disabled: every emit call is a single branch that takes nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+    // Enablement flags are copied out of `inner` so hot-path checks are
+    // plain branches, not RefCell borrows.
+    records: bool,
+    captures: bool,
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Builds collectors per `config`; returns the disabled handle when
+    /// nothing is switched on.
+    pub fn from_config(config: &TelemetryConfig) -> Self {
+        if !config.any_enabled() {
+            return Telemetry::disabled();
+        }
+        let inner = Inner {
+            recorder: config.record.then(|| FlightRecorder::new(config.recorder_capacity)),
+            capture: config.capture.then(|| {
+                PacketCapture::new(config.capture_filter.clone(), config.capture_capacity)
+            }),
+            metrics: config
+                .metrics_interval
+                .map(|iv| SeriesSet::new(iv.as_nanos().max(1) as u64)),
+        };
+        Telemetry {
+            records: inner.recorder.is_some(),
+            captures: inner.capture.is_some(),
+            inner: Some(Rc::new(RefCell::new(inner))),
+        }
+    }
+
+    /// Whether any collector is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the flight recorder is live (cheap; safe on hot paths).
+    #[inline]
+    pub fn records_events(&self) -> bool {
+        self.records
+    }
+
+    /// Whether the packet capture is live.
+    #[inline]
+    pub fn captures_packets(&self) -> bool {
+        self.captures
+    }
+
+    /// Records a flight-recorder event. `detail` only runs when the
+    /// recorder is live, so disabled runs never format anything.
+    #[inline]
+    pub fn record_event(
+        &self,
+        time_nanos: u64,
+        node: Option<u32>,
+        category: Category,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.records {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(rec) = inner.borrow_mut().recorder.as_mut() {
+                rec.record(Event { time_nanos, seq: 0, node, category, detail: detail() });
+            }
+        }
+    }
+
+    /// Offers a packet event to the capture. `make` only runs when the
+    /// capture is live.
+    #[inline]
+    pub fn capture_packet(&self, make: impl FnOnce() -> CaptureRecord) {
+        if !self.captures {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(cap) = inner.borrow_mut().capture.as_mut() {
+                cap.offer(make());
+            }
+        }
+    }
+
+    /// Runs `f` against the metric series when sampling is on.
+    pub fn with_metrics(&self, f: impl FnOnce(&mut SeriesSet)) {
+        if let Some(inner) = &self.inner {
+            if let Some(set) = inner.borrow_mut().metrics.as_mut() {
+                f(set);
+            }
+        }
+    }
+
+    /// Serialized flight-recorder trace, if recording.
+    pub fn recorder_json(&self) -> Option<Json> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().recorder.as_ref().map(FlightRecorder::to_json))
+    }
+
+    /// Serialized packet capture, if capturing.
+    pub fn capture_json(&self) -> Option<Json> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().capture.as_ref().map(PacketCapture::to_json))
+    }
+
+    /// Serialized metrics document, if sampling.
+    pub fn metrics_json(&self) -> Option<Json> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().metrics.as_ref().map(SeriesSet::to_json))
+    }
+
+    /// Events recorded over the run (0 when the recorder is off).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().recorder.as_ref().map(FlightRecorder::total_recorded))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_takes_nothing_and_never_formats() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.record_event(0, None, Category::Phase, || {
+            panic!("detail closure must not run when disabled")
+        });
+        t.capture_packet(|| panic!("capture closure must not run when disabled"));
+        assert!(t.recorder_json().is_none());
+        assert!(t.capture_json().is_none());
+        assert!(t.metrics_json().is_none());
+        assert_eq!(t.events_recorded(), 0);
+    }
+
+    #[test]
+    fn from_config_respects_switches() {
+        let off = Telemetry::from_config(&TelemetryConfig::default());
+        assert!(!off.is_enabled());
+
+        let cfg = TelemetryConfig { record: true, ..TelemetryConfig::default() };
+        let t = Telemetry::from_config(&cfg);
+        assert!(t.records_events() && !t.captures_packets());
+        t.record_event(5, Some(1), Category::Phase, || "init".into());
+        assert_eq!(t.events_recorded(), 1);
+        assert!(t.capture_json().is_none());
+
+        // Clones share the same collectors.
+        let t2 = t.clone();
+        t2.record_event(6, Some(1), Category::Phase, || "attack".into());
+        assert_eq!(t.events_recorded(), 2);
+    }
+
+    #[test]
+    fn metrics_sampling_round_trip() {
+        let cfg = TelemetryConfig {
+            metrics_interval: Some(Duration::from_secs(1)),
+            ..TelemetryConfig::default()
+        };
+        let t = Telemetry::from_config(&cfg);
+        t.with_metrics(|m| m.series_mut("queue_depth").push(3.0));
+        let json = t.metrics_json().expect("metrics on");
+        assert!(json.to_string_compact().contains("queue_depth"));
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = TelemetryConfig {
+            metrics_interval: Some(Duration::ZERO),
+            ..TelemetryConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(TelemetryConfig::default().validate().is_ok());
+    }
+}

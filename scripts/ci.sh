@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, full test suite, and a smoke run of the performance
-# snapshot (which also regenerates results/BENCH_netsim.json and fails
-# loudly if the bench harness rots).
+# Tier-1 gate: build (including examples), full test suite, a smoke run of
+# the performance snapshot gated against the committed baseline, and a
+# telemetry determinism self-check (same seed twice -> `trace diff` finds
+# zero divergence).
 #
 # The workspace resolves entirely from in-tree path dependencies (see
 # "Offline builds" in README.md), so this runs without network access.
@@ -10,5 +11,26 @@ set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo build --examples --offline
 cargo test -q --offline
-cargo run --release --offline -p ddosim-bench --bin perfsnap -- --smoke
+
+# Performance regression gate: a fresh smoke snapshot must stay within 25%
+# of the committed baseline on every throughput gauge.
+fresh_snap=$(mktemp)
+trap 'rm -f "$fresh_snap"' EXIT
+cargo run --release --offline -p ddosim-bench --bin perfsnap -- --smoke --out "$fresh_snap"
+cargo run --release --offline -p ddosim-bench --bin perfsnap -- \
+    --compare-only results/BENCH_netsim.json "$fresh_snap"
+
+# Telemetry determinism self-check: identical seeds must produce
+# byte-identical flight-recorder traces, and `trace diff` must agree.
+trace_a=$(mktemp) trace_b=$(mktemp)
+trap 'rm -f "$fresh_snap" "$trace_a" "$trace_b"' EXIT
+run_traced() {
+    cargo run --release --offline -p ddosim --bin ddosim -- \
+        --devs 6 --attack-at 20 --duration 15 --sim-time 45 --seed 7 \
+        --record "$1" > /dev/null
+}
+run_traced "$trace_a"
+run_traced "$trace_b"
+cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"

@@ -15,5 +15,6 @@ pub use firmware;
 pub use malware;
 pub use netsim;
 pub use protocols;
+pub use telemetry;
 pub use testbed;
 pub use tinyvm;

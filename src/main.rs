@@ -3,19 +3,23 @@
 //! ```sh
 //! ddosim --devs 100 --churn dynamic --duration 100 --seed 42
 //! ddosim --devs 50 --recruitment worm:1.0:1 --json
+//! ddosim --devs 25 --capture run-a.json --capture-filter "udp port 80"
+//! ddosim trace diff run-a.json run-b.json
 //! ```
 
 use churn::ChurnMode;
-use ddosim::{AttackSpec, Recruitment, SimulationBuilder};
+use ddosim::{AttackSpec, Recruitment, SimulationBuilder, TelemetryConfig};
 use protocols::AttackVector;
 use std::process::ExitCode;
 use std::time::Duration;
+use telemetry::CaptureFilter;
 
 const USAGE: &str = "\
 ddosim — memory-error IoT botnet DDoS simulation (DSN'23 reproduction)
 
 USAGE:
     ddosim [OPTIONS]
+    ddosim trace diff <A.json> <B.json>
 
 OPTIONS:
     --devs <N>                number of Devs (default 25)
@@ -34,15 +38,58 @@ OPTIONS:
     --strategy <S>            leak-rebase | static-chain | code-injection
     --seed <N>                RNG seed (default 42)
     --json                    emit the full RunResult as JSON
+    --record <FILE>           write the flight-recorder trace (JSON) to FILE
+    --capture <FILE>          write the packet capture (JSON) to FILE
+    --capture-filter <EXPR>   keep only matching packets, e.g. \"udp port 80\"
+                              (clauses: udp|tcp, port N, src IP, dst IP, host IP)
+    --metrics-interval <SECS> sample time-series metrics every SECS (fractional ok)
+    --metrics-out <FILE>      metrics output file (default ddosim-metrics.json)
     -h, --help                show this help
+
+SUBCOMMANDS:
+    trace diff <A> <B>        compare two telemetry JSON files entry by entry;
+                              exit 0 if identical, print the first diverging
+                              entry and exit 1 otherwise
 ";
 
-fn parse_args(args: &[String]) -> Result<(SimulationBuilder, bool), String> {
+/// A parsed command line.
+enum Cli {
+    /// Show the usage text.
+    Help,
+    /// Run a simulation.
+    Run(Box<RunOpts>),
+    /// Compare two telemetry JSON files.
+    TraceDiff { a: String, b: String },
+}
+
+/// Everything a simulation run needs from the command line.
+struct RunOpts {
+    builder: SimulationBuilder,
+    json: bool,
+    telemetry: TelemetryConfig,
+    record_out: Option<String>,
+    capture_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    if args.first().map(String::as_str) == Some("trace") {
+        return match args[1..] {
+            [ref sub, ref a, ref b] if sub == "diff" => {
+                Ok(Cli::TraceDiff { a: a.clone(), b: b.clone() })
+            }
+            _ => Err("usage: ddosim trace diff <A.json> <B.json>".to_owned()),
+        };
+    }
     let mut builder = SimulationBuilder::new().devs(25);
     let mut duration = Duration::from_secs(100);
     let mut vector = AttackVector::UdpPlain;
     let mut payload: Option<u32> = None;
     let mut json = false;
+    let mut telemetry = TelemetryConfig::default();
+    let mut record_out = None;
+    let mut capture_out = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -139,9 +186,34 @@ fn parse_args(args: &[String]) -> Result<(SimulationBuilder, bool), String> {
             }
             "--seed" => builder = builder.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
             "--json" => json = true,
-            "-h" | "--help" => return Err(String::new()),
+            "--record" => {
+                telemetry.record = true;
+                record_out = Some(value("--record")?);
+            }
+            "--capture" => {
+                telemetry.capture = true;
+                capture_out = Some(value("--capture")?);
+            }
+            "--capture-filter" => {
+                telemetry.capture_filter = CaptureFilter::parse(&value("--capture-filter")?)
+                    .map_err(|e| format!("--capture-filter: {e}"))?;
+            }
+            "--metrics-interval" => {
+                let secs: f64 = value("--metrics-interval")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--metrics-interval: must be positive".to_owned());
+                }
+                telemetry.metrics_interval = Some(Duration::from_secs_f64(secs));
+            }
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "-h" | "--help" => return Ok(Cli::Help),
             other => return Err(format!("unknown option: {other}")),
         }
+    }
+    if telemetry.metrics_interval.is_some() && metrics_out.is_none() {
+        metrics_out = Some("ddosim-metrics.json".to_owned());
     }
     builder = builder.attack(AttackSpec {
         vector,
@@ -149,29 +221,41 @@ fn parse_args(args: &[String]) -> Result<(SimulationBuilder, bool), String> {
         payload_bytes: payload,
         port: 80,
     });
-    Ok((builder, json))
+    Ok(Cli::Run(Box::new(RunOpts {
+        builder,
+        json,
+        telemetry,
+        record_out,
+        capture_out,
+        metrics_out,
+    })))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (builder, json) = match parse_args(&args) {
-        Ok(v) => v,
-        Err(msg) => {
-            if msg.is_empty() {
-                print!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match builder.run() {
-        Ok(r) => r,
-        Err(msg) => {
-            eprintln!("invalid configuration: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Writes one telemetry document, reporting where it went.
+fn write_doc(path: &str, doc: Option<djson::Json>, what: &str) -> Result<(), String> {
+    let doc = doc.ok_or_else(|| format!("{what} was not collected"))?;
+    std::fs::write(path, doc.to_string_compact() + "\n")
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("{what} written to {path}");
+    Ok(())
+}
+
+fn run(opts: RunOpts) -> Result<(), String> {
+    let RunOpts { builder, json, telemetry, record_out, capture_out, metrics_out } = opts;
+    let instance = builder.telemetry(telemetry).build()?;
+    // Clones share the collectors, so the handle stays readable after
+    // `run_to_completion` consumes the instance.
+    let tele = instance.telemetry().clone();
+    let result = instance.run_to_completion();
+    if let Some(path) = record_out {
+        write_doc(&path, tele.recorder_json(), "flight recorder")?;
+    }
+    if let Some(path) = capture_out {
+        write_doc(&path, tele.capture_json(), "packet capture")?;
+    }
+    if let Some(path) = metrics_out {
+        write_doc(&path, tele.metrics_json(), "metrics")?;
+    }
     if json {
         println!("{}", djson::ToJson::to_json(&result).to_string_pretty());
     } else {
@@ -189,5 +273,181 @@ fn main() -> ExitCode {
             result.attack_time_m_ss(),
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// Compares two telemetry JSON files; the process exit code reports the
+/// verdict (0 identical, 1 diverged, 2 unreadable).
+fn trace_diff(a_path: &str, b_path: &str) -> ExitCode {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    let (a, b) = match (read(a_path), read(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match telemetry::diff_strs(&a, &b) {
+        Ok(None) => {
+            println!("traces identical");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(d)) => {
+            println!("{}", d.render());
+            ExitCode::from(1)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Cli::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Cli::TraceDiff { a, b }) => trace_diff(&a, &b),
+        Ok(Cli::Run(opts)) => match run(*opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&args)
+    }
+
+    fn run_opts(args: &[&str]) -> RunOpts {
+        match parse(args) {
+            Ok(Cli::Run(opts)) => *opts,
+            other => panic!(
+                "expected a run command, got {}",
+                match other {
+                    Ok(Cli::Help) => "help".to_owned(),
+                    Ok(Cli::TraceDiff { .. }) => "trace diff".to_owned(),
+                    Ok(Cli::Run(_)) => unreachable!(),
+                    Err(e) => format!("error: {e}"),
+                }
+            ),
+        }
+    }
+
+    /// Table of flag strings that must be rejected, with the fragment the
+    /// error message must contain.
+    #[test]
+    fn invalid_flags_are_rejected_with_context() {
+        let table: &[(&[&str], &str)] = &[
+            (&["--churn", "sometimes"], "unknown churn mode"),
+            (&["--churn"], "requires a value"),
+            (&["--devs", "many"], "--devs"),
+            (&["--recruitment", "worm:0.5"], "unknown recruitment spec"),
+            (&["--recruitment", "scanner:high"], "--recruitment scanner"),
+            (&["--access-rate", "500"], "LO-HI"),
+            (&["--access-rate", "a-b"], "--access-rate"),
+            (&["--vector", "teardrop"], "unknown vector"),
+            (&["--capture-filter", "frob 1"], "--capture-filter"),
+            (&["--capture"], "requires a value"),
+            (&["--metrics-interval", "0"], "positive"),
+            (&["--metrics-interval", "-3"], "positive"),
+            (&["--metrics-interval", "soon"], "--metrics-interval"),
+            (&["--frobnicate"], "unknown option"),
+            (&["trace", "diff", "only-one.json"], "trace diff"),
+            (&["trace", "merge", "a.json", "b.json"], "trace diff"),
+        ];
+        for (args, fragment) in table {
+            match parse(args) {
+                Err(msg) => assert!(
+                    msg.contains(fragment),
+                    "args {args:?}: error {msg:?} does not mention {fragment:?}"
+                ),
+                Ok(_) => panic!("args {args:?} unexpectedly accepted"),
+            }
+        }
+    }
+
+    /// Table of valid flag strings, checked against the accumulated
+    /// configuration.
+    #[test]
+    fn valid_flags_reach_the_config() {
+        let opts = run_opts(&[
+            "--devs", "12",
+            "--churn", "dynamic",
+            "--access-rate", "200-300",
+            "--recruitment", "worm:0.5:2",
+            "--seed", "7",
+        ]);
+        let config = opts.builder.config();
+        assert_eq!(config.devs, 12);
+        assert_eq!(config.churn, ChurnMode::Dynamic);
+        assert_eq!(config.access_rate_kbps, 200..=300);
+        assert_eq!(
+            config.recruitment,
+            Recruitment::SelfPropagating { default_credential_fraction: 0.5, seeds: 2 }
+        );
+        assert_eq!(config.seed, 7);
+        assert!(!opts.json);
+        assert!(!config.telemetry.any_enabled());
+    }
+
+    #[test]
+    fn telemetry_flags_build_the_config() {
+        let opts = run_opts(&[
+            "--record", "rec.json",
+            "--capture", "cap.json",
+            "--capture-filter", "udp port 80",
+            "--metrics-interval", "2.5",
+        ]);
+        let t = &opts.telemetry;
+        assert!(t.record && t.capture);
+        assert_eq!(t.capture_filter.proto.as_deref(), Some("udp"));
+        assert_eq!(t.capture_filter.port, Some(80));
+        assert_eq!(t.metrics_interval, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(opts.record_out.as_deref(), Some("rec.json"));
+        assert_eq!(opts.capture_out.as_deref(), Some("cap.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("ddosim-metrics.json"));
+    }
+
+    #[test]
+    fn metrics_out_overrides_the_default() {
+        let opts = run_opts(&["--metrics-interval", "1", "--metrics-out", "m.json"]);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        // Without an interval there is nothing to write.
+        assert_eq!(run_opts(&[]).metrics_out, None);
+    }
+
+    #[test]
+    fn trace_diff_subcommand_parses() {
+        match parse(&["trace", "diff", "a.json", "b.json"]) {
+            Ok(Cli::TraceDiff { a, b }) => {
+                assert_eq!(a, "a.json");
+                assert_eq!(b, "b.json");
+            }
+            _ => panic!("trace diff did not parse"),
+        }
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&["-h"]), Ok(Cli::Help)));
+        assert!(matches!(parse(&["--devs", "3", "--help"]), Ok(Cli::Help)));
+    }
 }
