@@ -190,6 +190,10 @@ pub struct SimulationConfig {
     /// What to observe: flight recorder, packet capture, metric sampling.
     /// Disabled by default so runs stay on the uninstrumented hot path.
     pub telemetry: netsim::TelemetryConfig,
+    /// Faults to inject on the simulation clock (link flaps, loss,
+    /// crashes, C&C outages). Empty by default, which is a strict no-op:
+    /// an empty plan schedules nothing and perturbs no RNG stream.
+    pub faults: faults::FaultPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -219,6 +223,7 @@ impl Default for SimulationConfig {
             topology: TopologyKind::Star,
             admin_script: Vec::new(),
             telemetry: netsim::TelemetryConfig::default(),
+            faults: faults::FaultPlan::default(),
             seed: 42,
         }
     }
@@ -284,6 +289,7 @@ impl SimulationConfig {
             }
         }
         self.telemetry.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -426,6 +432,12 @@ impl SimulationBuilder {
     /// metric sampling).
     pub fn telemetry(mut self, t: netsim::TelemetryConfig) -> Self {
         self.config.telemetry = t;
+        self
+    }
+
+    /// Fault-injection plan (see the `faults` crate).
+    pub fn faults(mut self, plan: faults::FaultPlan) -> Self {
+        self.config.faults = plan;
         self
     }
 

@@ -11,26 +11,38 @@ use crate::instance::Ddosim;
 use crate::result::RunResult;
 use churn::ChurnMode;
 use firmware::CommandSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 use tinyvm::{ProtectionMix, Protections};
 
+/// Renders a panic payload (the `Box<dyn Any>` from [`catch_unwind`]) as
+/// the message string it almost always carries.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs each configuration (in parallel across available threads) and
-/// returns results in input order.
-///
-/// # Panics
-///
-/// Panics if any configuration is invalid — sweep code constructs its own
-/// configurations, so this indicates a programming error.
-pub fn run_configs(configs: Vec<SimulationConfig>) -> Vec<RunResult> {
+/// returns per-run outcomes in input order: `Ok(result)` for runs that
+/// completed, `Err(message)` for configurations that were invalid or
+/// panicked mid-run. One bad point in a sweep costs that row, not the
+/// hours of completed rows around it.
+pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, String>> {
     let n = configs.len();
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<Result<RunResult, String>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -39,18 +51,61 @@ pub fn run_configs(configs: Vec<SimulationConfig>) -> Vec<RunResult> {
                     break;
                 }
                 let config = configs[i].clone();
-                let result = Ddosim::new(config)
-                    .expect("sweep configurations are valid")
-                    .run_to_completion();
-                results.lock().expect("no panics hold the lock")[i] = Some(result);
+                // A panicking run must not poison the shared results (that
+                // would abort the whole sweep): catch it here and record it
+                // as this row's outcome. The worker loop then moves on to
+                // the next configuration.
+                let outcome =
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        Ddosim::new(config).map(Ddosim::run_to_completion)
+                    })) {
+                        Ok(Ok(result)) => Ok(result),
+                        Ok(Err(msg)) => Err(format!("configuration {i} invalid: {msg}")),
+                        Err(payload) => {
+                            Err(format!("run {i} panicked: {}", panic_message(&*payload)))
+                        }
+                    };
+                // Poison recovery: a panic between lock() and the store on
+                // some other thread (e.g. in an allocator hook) still
+                // leaves the Vec structurally intact.
+                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
             });
         }
     });
     results
         .into_inner()
-        .expect("all threads joined")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every index was produced"))
+        .collect()
+}
+
+/// Runs each configuration (in parallel across available threads) and
+/// returns results in input order.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid or any run panicked — sweep code
+/// constructs its own configurations, so this indicates a programming
+/// error. Unlike a raw worker panic, the message aggregates *all* failed
+/// rows after every other row has finished. Use [`try_run_configs`] to
+/// keep partial results instead.
+pub fn run_configs(configs: Vec<SimulationConfig>) -> Vec<RunResult> {
+    let outcomes = try_run_configs(configs);
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter_map(|r| r.as_ref().err().cloned())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "sweep failed on {} of {} runs: {}",
+        failures.len(),
+        outcomes.len(),
+        failures.join("; ")
+    );
+    outcomes
+        .into_iter()
+        .map(|r| r.expect("failures are empty"))
         .collect()
 }
 
@@ -434,5 +489,28 @@ mod tests {
             results[1].avg_received_data_rate_kbps
         );
         assert_eq!(results[0].packets_sent, results[1].packets_sent);
+    }
+
+    #[test]
+    fn one_failing_config_does_not_poison_the_sweep() {
+        // devs = 0 fails validation inside the worker thread; before
+        // try_run_configs this panicked the worker, poisoned the results
+        // mutex, and aborted every other row of the sweep.
+        let invalid = SimulationConfig { devs: 0, ..small(2, 1) };
+        let outcomes = try_run_configs(vec![small(2, 1), invalid, small(3, 2)]);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].as_ref().map(|r| r.devs), Ok(2));
+        assert_eq!(outcomes[2].as_ref().map(|r| r.devs), Ok(3));
+        let err = outcomes[1].as_ref().expect_err("devs = 0 must fail");
+        assert!(err.contains("configuration 1 invalid"), "got: {err}");
+    }
+
+    #[test]
+    fn run_configs_panics_with_aggregate_message_on_failure() {
+        let invalid = SimulationConfig { devs: 0, ..small(2, 1) };
+        let panic = catch_unwind(AssertUnwindSafe(|| run_configs(vec![small(2, 1), invalid])))
+            .expect_err("run_configs must propagate the failure");
+        let msg = panic_message(&*panic);
+        assert!(msg.contains("1 of 2 runs"), "got: {msg}");
     }
 }

@@ -108,6 +108,13 @@ fn sample_tick(sim: &mut Simulator, mut st: SamplerState) {
     }
 }
 
+/// Records a planned fault firing in the flight recorder.
+fn record_fault(sim: &Simulator, node: NodeId, detail: String) {
+    let now = sim.now().as_nanos();
+    sim.telemetry()
+        .record_event(now, Some(node.index() as u32), Category::Fault, || detail);
+}
+
 /// The simulated-Internet fabric a run was built on.
 #[derive(Debug)]
 enum Fabric {
@@ -488,6 +495,122 @@ impl Ddosim {
                 prev_rx_bytes: 0,
             };
             sim.schedule_call(SimTime::ZERO + iv, move |sim| sample_tick(sim, st));
+        }
+
+        // ---- Fault plan ----
+        // Targets resolve here (names → nodes/links/containers) so a bad
+        // plan fails the build, not the run; the faults themselves go on
+        // the event queue and interleave deterministically with everything
+        // else. An empty plan schedules nothing and never reaches the
+        // reseed, so every RNG stream matches a plan-free run.
+        if !config.faults.is_empty() {
+            sim.reseed_fault_rng(config.seed ^ config.faults.seed ^ 0xFA17);
+            let resolve = |name: &str| -> Result<(NodeId, Option<ContainerHandle>), String> {
+                if name == "attacker" {
+                    return Ok((attacker_node, Some(attacker_container.clone())));
+                }
+                if name == "tserver" {
+                    return Ok((tserver_node, None));
+                }
+                name.strip_prefix("dev-")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .and_then(|i| devs.get(i))
+                    .map(|d| (d.node, Some(d.container.clone())))
+                    .ok_or_else(|| format!("fault plan targets unknown node '{name}'"))
+            };
+            let access_links = |sim: &Simulator, name: &str, node| -> Result<Vec<_>, String> {
+                let links = sim.node_p2p_links(node);
+                if links.is_empty() {
+                    return Err(format!(
+                        "fault plan: node '{name}' has no point-to-point links"
+                    ));
+                }
+                Ok(links)
+            };
+            for fault in &config.faults.faults {
+                let at = SimTime::ZERO + fault.at;
+                let detail = fault.describe();
+                match &fault.kind {
+                    faults::FaultKind::LinkDown { node }
+                    | faults::FaultKind::LinkUp { node } => {
+                        let up = matches!(fault.kind, faults::FaultKind::LinkUp { .. });
+                        let (node_id, _) = resolve(node)?;
+                        let links = access_links(&sim, node, node_id)?;
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            for link in links {
+                                sim.set_link_admin(link, up);
+                            }
+                        });
+                    }
+                    faults::FaultKind::LinkLoss { node, probability } => {
+                        let p = *probability;
+                        let (node_id, _) = resolve(node)?;
+                        let links = access_links(&sim, node, node_id)?;
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            for link in links {
+                                sim.set_link_loss(link, p);
+                            }
+                        });
+                    }
+                    faults::FaultKind::NodeCrash { node } => {
+                        let (node_id, container) = resolve(node)?;
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            // Power off first: a hard crash is silent on the
+                            // wire, so the node must be down (stack reset)
+                            // before app removal, or removal would FIN the
+                            // bot's C&C connection like a graceful exit.
+                            sim.set_node_admin(node_id, false);
+                            if let Some(c) = &container {
+                                for app in c.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
+                                    sim.remove_app(app);
+                                }
+                            }
+                        });
+                    }
+                    faults::FaultKind::NodeRestore { node } => {
+                        let (node_id, _) = resolve(node)?;
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            sim.set_node_admin(node_id, true);
+                        });
+                    }
+                    faults::FaultKind::CncOutage { duration } => {
+                        let node_id = attacker_node;
+                        let duration = *duration;
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            sim.set_node_admin(node_id, false);
+                            if let Some(d) = duration {
+                                sim.schedule_call_after(d, move |sim| {
+                                    record_fault(
+                                        sim,
+                                        node_id,
+                                        "cnc_outage ended (attacker host restarts)".to_owned(),
+                                    );
+                                    sim.set_node_admin(node_id, true);
+                                });
+                            }
+                        });
+                    }
+                    faults::FaultKind::ContainerKill { node } => {
+                        let (node_id, container) = resolve(node)?;
+                        let Some(container) = container else {
+                            return Err(format!(
+                                "fault plan: container_kill targets '{node}', which has no container"
+                            ));
+                        };
+                        sim.schedule_call(at, move |sim| {
+                            record_fault(sim, node_id, detail);
+                            for app in container.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
+                                sim.remove_app(app);
+                            }
+                        });
+                    }
+                }
+            }
         }
 
         let mut instance = Ddosim {

@@ -41,6 +41,8 @@ pub use config::{
     AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, SimulationBuilder,
     SimulationConfig, TopologyKind,
 };
+pub use experiment::{run_configs, try_run_configs};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FAULT_PLAN_SCHEMA};
 pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};
 pub use metrics::{bytes_to_gb, MemoryModel, TServerSink};
 pub use reboot::RebootController;

@@ -26,6 +26,13 @@ pub struct LinkConfig {
     /// extra `U[0, jitter]` (queueing noise along the abstracted Internet
     /// path the link stands for). Zero by default.
     pub jitter: Duration,
+    /// Probability that a frame is corrupted on the wire and never arrives
+    /// (the wired analogue of Wi-Fi's `loss_probability`; fault injection
+    /// raises it at runtime). The frame still occupies the transmitter for
+    /// its full serialization time. Zero by default, and the loss RNG is
+    /// only consulted when nonzero, so a zero-loss link is draw-for-draw
+    /// identical to a link built before this field existed.
+    pub loss_probability: f64,
 }
 
 impl LinkConfig {
@@ -36,6 +43,7 @@ impl LinkConfig {
             delay,
             queue_capacity_bytes: 64 * 1024,
             jitter: Duration::ZERO,
+            loss_probability: 0.0,
         }
     }
 
@@ -48,6 +56,13 @@ impl LinkConfig {
     /// Adds random per-packet delay variation of up to `jitter`.
     pub fn with_jitter(mut self, jitter: Duration) -> Self {
         self.jitter = jitter;
+        self
+    }
+
+    /// Sets the per-frame corruption/loss probability (clamped to `[0, 1]`
+    /// at draw time).
+    pub fn with_loss_probability(mut self, p: f64) -> Self {
+        self.loss_probability = p;
         self
     }
 }
@@ -89,6 +104,14 @@ pub struct P2pLink {
     pub(crate) config: LinkConfig,
     pub(crate) endpoints: [IfaceId; 2],
     pub(crate) dirs: [LinkDirection; 2],
+    /// Administrative state: a down link drops everything offered to it
+    /// (fault injection; node churn flushes queues but leaves links up).
+    pub(crate) admin_up: bool,
+    /// Link epoch, bumped on every admin-down. Delivery events scheduled
+    /// over this link carry the epoch they were transmitted under; a
+    /// mismatch at delivery time means the frame was on the wire when the
+    /// link was cut, so it is dropped instead of delivered.
+    pub(crate) epoch: u64,
 }
 
 impl P2pLink {
@@ -98,7 +121,14 @@ impl P2pLink {
             config,
             endpoints: [a, b],
             dirs: [LinkDirection::with_capacity(cap), LinkDirection::with_capacity(cap)],
+            admin_up: true,
+            epoch: 0,
         }
+    }
+
+    /// Whether the link is administratively up.
+    pub fn admin_up(&self) -> bool {
+        self.admin_up
     }
 
     /// The link configuration.

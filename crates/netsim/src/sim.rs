@@ -62,7 +62,11 @@ enum Event {
     AppStart(AppId),
     Timer { app: AppId, token: u64 },
     TxComplete { link: LinkId, side: usize, gen: u64 },
-    Deliver { iface: IfaceId, packet: Packet },
+    /// `epoch` is `Some((link, link_epoch_at_tx))` for frames in flight on a
+    /// point-to-point link; a link-down flap bumps the link's epoch, so the
+    /// pending delivery detects it went stale and drops instead of
+    /// delivering. Loopback and Wi-Fi deliveries carry `None`.
+    Deliver { iface: IfaceId, packet: Packet, epoch: Option<(LinkId, u64)> },
     WifiAttempt { chan: ChannelId, station: usize },
     WifiTxComplete { chan: ChannelId, station: usize, gen: u64 },
     TcpRto { node: NodeId, conn: u64, seq: u64 },
@@ -99,6 +103,11 @@ pub struct Simulator {
     tcp: Vec<TcpStack>,
     addr_index: HashMap<IpAddr, IfaceId>,
     rng: SmallRng,
+    /// Separate stream for injected wired-link loss draws: loss faults
+    /// perturb only this RNG, so enabling them never shifts the jitter /
+    /// backoff / churn draws of the main event stream. Only consulted when
+    /// a link's `loss_probability` is nonzero.
+    fault_rng: SmallRng,
     stats: Stats,
     trace: Option<TraceHook>,
     telemetry: Telemetry,
@@ -137,6 +146,7 @@ impl Simulator {
             tcp: Vec::new(),
             addr_index: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
+            fault_rng: SmallRng::seed_from_u64(seed ^ 0xFA17),
             stats: Stats::default(),
             trace: None,
             telemetry: Telemetry::disabled(),
@@ -172,6 +182,13 @@ impl Simulator {
     /// The simulator's random-number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
+    }
+
+    /// Reseeds the fault-injection RNG (wired-link loss draws). A fault
+    /// plan's own seed folds in here so two plans with different seeds
+    /// sample different loss patterns under the same simulation seed.
+    pub fn reseed_fault_rng(&mut self, seed: u64) {
+        self.fault_rng = SmallRng::seed_from_u64(seed);
     }
 
     /// Installs a packet trace hook (a Wireshark-lite observer).
@@ -415,6 +432,11 @@ impl Simulator {
         }
         let node = &mut self.nodes[id.node.index()];
         node.udp_binds.retain(|_, owner| *owner != id);
+        // A dead process's sockets do not linger: close its connections
+        // (FIN notifies the peers) and release its listeners. On a node
+        // that is already down the stack was reset, so nothing escapes.
+        let actions = self.tcp[id.node.index()].close_owned_by(id);
+        self.process_tcp_actions(id.node, actions);
     }
 
     /// Whether the application slot is still occupied.
@@ -499,6 +521,78 @@ impl Simulator {
         self.schedule(self.now, Event::SetNode { node, up });
     }
 
+    // ----- link administration (fault injection) --------------------------------
+
+    /// Takes a point-to-point link down or brings it back up.
+    ///
+    /// Going down drops every queued frame (counted as
+    /// [`DropReason::LinkDown`]) and bumps the link's epoch so frames
+    /// already in flight are dropped at their would-be delivery instant
+    /// instead of arriving after the flap. While down, everything offered
+    /// to the link is dropped at enqueue. Going up restores service for
+    /// frames transmitted from then on.
+    pub fn set_link_admin(&mut self, link: LinkId, up: bool) {
+        let l = &mut self.links[link.index()];
+        if l.admin_up == up {
+            return;
+        }
+        l.admin_up = up;
+        let mut flushed = 0;
+        if !up {
+            l.epoch += 1;
+            let before = l.buffered_bytes();
+            flushed = l.flush();
+            let after = self.links[link.index()].buffered_bytes();
+            self.adjust_buffered(before, after);
+            for _ in 0..flushed {
+                self.stats.record_drop(DropReason::LinkDown);
+            }
+        }
+        self.telemetry.record_event(
+            self.now.as_nanos(),
+            None,
+            Category::LinkAdmin,
+            || {
+                if up {
+                    format!("link {} admin up", link.index())
+                } else {
+                    format!("link {} admin down ({flushed} queued frames dropped)", link.index())
+                }
+            },
+        );
+    }
+
+    /// Whether a point-to-point link is administratively up.
+    pub fn link_admin_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].admin_up
+    }
+
+    /// Sets the per-frame corruption/loss probability of a point-to-point
+    /// link at runtime (fault injection). Clamped to `[0, 1]` at draw time;
+    /// the loss RNG is only consulted while the probability is nonzero.
+    pub fn set_link_loss(&mut self, link: LinkId, probability: f64) {
+        self.links[link.index()].config.loss_probability = probability;
+        self.telemetry.record_event(
+            self.now.as_nanos(),
+            None,
+            Category::LinkAdmin,
+            || format!("link {} loss probability set to {probability}", link.index()),
+        );
+    }
+
+    /// The point-to-point links attached to `node`'s interfaces, in
+    /// interface order (a star member's single access link comes first).
+    pub fn node_p2p_links(&self, node: NodeId) -> Vec<LinkId> {
+        self.nodes[node.index()]
+            .ifaces
+            .iter()
+            .filter_map(|i| match self.ifaces[i.index()].attachment {
+                Some(Attachment::P2p { link, .. }) => Some(link),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Schedules an arbitrary closure to run over the simulator at `at`.
     pub fn schedule_call(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + 'static) {
         self.schedule(at, Event::Call(Box::new(f)));
@@ -581,7 +675,7 @@ impl Simulator {
                 self.with_app(app, |app, ctx| app.on_timer(ctx, token));
             }
             Event::TxComplete { link, side, gen } => self.on_tx_complete(link, side, gen),
-            Event::Deliver { iface, packet } => self.on_deliver(iface, packet),
+            Event::Deliver { iface, packet, epoch } => self.on_deliver(iface, packet, epoch),
             Event::WifiAttempt { chan, station } => self.on_wifi_attempt(chan, station),
             Event::WifiTxComplete { chan, station, gen } => {
                 self.on_wifi_tx_complete(chan, station, gen)
@@ -702,7 +796,7 @@ impl Simulator {
             // Loopback delivery through the event queue (no reentrancy).
             let iface = self.nodes[node.index()].ifaces.first().copied();
             if let Some(iface) = iface {
-                self.schedule(self.now, Event::Deliver { iface, packet });
+                self.schedule(self.now, Event::Deliver { iface, packet, epoch: None });
             }
             return;
         }
@@ -717,6 +811,10 @@ impl Simulator {
         match self.ifaces[iface.index()].attachment {
             None => self.drop_packet(DropReason::NoRoute, node, &packet),
             Some(Attachment::P2p { link, side }) => {
+                if !self.links[link.index()].admin_up {
+                    self.drop_packet(DropReason::LinkDown, node, &packet);
+                    return;
+                }
                 let before = self.links[link.index()].buffered_bytes();
                 let result = self.links[link.index()].enqueue(side, packet);
                 let after = self.links[link.index()].buffered_bytes();
@@ -786,11 +884,13 @@ impl Simulator {
         let l = &mut self.links[link.index()];
         l.dirs[side].tx_gen += 1;
         let gen = l.dirs[side].tx_gen;
+        let epoch = l.epoch;
         let Some(head) = l.head(side) else { return };
         let wire = u64::from(head.wire_bytes());
         let rate = l.config.rate_bps;
         let prop = l.config.delay;
         let jitter_max = l.config.jitter;
+        let loss_p = l.config.loss_probability;
         let peer = l.peer(side);
         let packet = head.clone();
         let txd = tx_delay(wire, rate);
@@ -810,9 +910,19 @@ impl Simulator {
             );
         }
         self.schedule(self.now + txd, Event::TxComplete { link, side, gen });
+        // Injected wired loss mirrors the Wi-Fi loss model: the frame
+        // occupies the transmitter for its full serialization time but is
+        // corrupted on the wire and never arrives. The draw comes from the
+        // dedicated fault RNG and only happens when the probability is
+        // nonzero, so loss-free links leave every RNG stream untouched.
+        if loss_p > 0.0 && self.fault_rng.gen_bool(loss_p.clamp(0.0, 1.0)) {
+            let node = self.ifaces[self.links[link.index()].endpoint(side).index()].node;
+            self.drop_packet(DropReason::LinkLoss, node, &packet);
+            return;
+        }
         self.schedule(
             self.now + txd + prop + jitter,
-            Event::Deliver { iface: peer, packet },
+            Event::Deliver { iface: peer, packet, epoch: Some((link, epoch)) },
         );
     }
 
@@ -993,6 +1103,7 @@ impl Simulator {
                 Event::Deliver {
                     iface,
                     packet: packet.clone(),
+                    epoch: None,
                 },
             );
         }
@@ -1031,8 +1142,17 @@ impl Simulator {
 
     // ----- receive path ----------------------------------------------------------------
 
-    fn on_deliver(&mut self, iface: IfaceId, mut packet: Packet) {
+    fn on_deliver(&mut self, iface: IfaceId, mut packet: Packet, epoch: Option<(LinkId, u64)>) {
         let node = self.ifaces[iface.index()].node;
+        // A frame transmitted before a link-down flap must not arrive after
+        // it: the flap bumped the link epoch, so the stamp this delivery
+        // carries no longer matches and the frame is charged to the flap.
+        if let Some((link, stamped)) = epoch {
+            if self.links[link.index()].epoch != stamped {
+                self.drop_packet(DropReason::LinkDown, node, &packet);
+                return;
+            }
+        }
         if !self.nodes[node.index()].up {
             self.drop_packet(DropReason::NodeDown, node, &packet);
             return;

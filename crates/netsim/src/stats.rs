@@ -24,6 +24,12 @@ pub enum DropReason {
     WifiLoss,
     /// An ingress filter (deployed defense) rejected the packet.
     Filtered,
+    /// The link was administratively down (fault injection): frames queued
+    /// or in flight at the flap, or offered while the link stayed down.
+    LinkDown,
+    /// Random corruption/loss on a wired link (fault injection; the wired
+    /// analogue of [`DropReason::WifiLoss`]).
+    LinkLoss,
 }
 
 impl DropReason {
@@ -31,7 +37,7 @@ impl DropReason {
     /// the exhaustive matches in [`Stats::record_drop`],
     /// [`Stats::drop_count`], [`DropReason::as_str`], and the
     /// `every_reason_has_a_counter` test.
-    pub const ALL: [DropReason; 8] = [
+    pub const ALL: [DropReason; 10] = [
         DropReason::QueueOverflow,
         DropReason::NodeDown,
         DropReason::TtlExpired,
@@ -40,6 +46,8 @@ impl DropReason {
         DropReason::WifiRetryLimit,
         DropReason::WifiLoss,
         DropReason::Filtered,
+        DropReason::LinkDown,
+        DropReason::LinkLoss,
     ];
 
     /// Stable lowercase name (used in telemetry traces).
@@ -53,6 +61,8 @@ impl DropReason {
             DropReason::WifiRetryLimit => "wifi_retry_limit",
             DropReason::WifiLoss => "wifi_loss",
             DropReason::Filtered => "filtered",
+            DropReason::LinkDown => "link_down",
+            DropReason::LinkLoss => "link_loss",
         }
     }
 }
@@ -84,6 +94,10 @@ pub struct Stats {
     pub dropped_wifi_loss: u64,
     /// Packets rejected by ingress filters (deployed defenses).
     pub dropped_filtered: u64,
+    /// Frames dropped because their link was administratively down.
+    pub dropped_link_down: u64,
+    /// Frames lost to injected corruption on a wired link.
+    pub dropped_link_loss: u64,
     /// Peak bytes buffered in link/channel queues at any instant.
     pub peak_buffered_bytes: u64,
     /// Total events executed.
@@ -107,6 +121,8 @@ impl Stats {
             + self.dropped_wifi_retries
             + self.dropped_wifi_loss
             + self.dropped_filtered
+            + self.dropped_link_down
+            + self.dropped_link_loss
     }
 
     /// Charges one drop to its per-reason counter. Every drop site in
@@ -123,6 +139,8 @@ impl Stats {
             DropReason::WifiRetryLimit => self.dropped_wifi_retries += 1,
             DropReason::WifiLoss => self.dropped_wifi_loss += 1,
             DropReason::Filtered => self.dropped_filtered += 1,
+            DropReason::LinkDown => self.dropped_link_down += 1,
+            DropReason::LinkLoss => self.dropped_link_loss += 1,
         }
     }
 
@@ -137,6 +155,8 @@ impl Stats {
             DropReason::WifiRetryLimit => self.dropped_wifi_retries,
             DropReason::WifiLoss => self.dropped_wifi_loss,
             DropReason::Filtered => self.dropped_filtered,
+            DropReason::LinkDown => self.dropped_link_down,
+            DropReason::LinkLoss => self.dropped_link_loss,
         }
     }
 }
@@ -242,7 +262,9 @@ mod tests {
                 | DropReason::PortUnreachable
                 | DropReason::WifiRetryLimit
                 | DropReason::WifiLoss
-                | DropReason::Filtered => {
+                | DropReason::Filtered
+                | DropReason::LinkDown
+                | DropReason::LinkLoss => {
                     assert!(DropReason::ALL.contains(&reason), "{reason:?} missing from ALL")
                 }
             }

@@ -282,6 +282,24 @@ impl TcpStack {
         vec![TcpAction::Send(pkt)]
     }
 
+    /// Closes every connection owned by `owner` (best-effort FIN each) and
+    /// releases its listeners — the teardown a host kernel performs when a
+    /// process dies. Without it a removed app's connections linger as
+    /// zombies whose ACKs keep the peer believing the app is alive.
+    pub fn close_owned_by(&mut self, owner: AppId) -> Vec<TcpAction> {
+        self.listeners.retain(|_, o| *o != owner);
+        let node = self.node();
+        let ids: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.owner == owner)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .flat_map(|id| self.close(ConnId { node, id }))
+            .collect()
+    }
+
     /// Whether the connection exists and is established.
     pub fn is_established(&self, conn: ConnId) -> bool {
         self.conns

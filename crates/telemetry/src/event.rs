@@ -45,6 +45,11 @@ pub enum Category {
     Flood,
     /// An experiment phase marker (init / attack / drain).
     Phase,
+    /// A point-to-point link changed administrative state or loss
+    /// probability (the netsim mechanism underneath link faults).
+    LinkAdmin,
+    /// The fault-injection layer executed a planned fault.
+    Fault,
 }
 
 impl Category {
@@ -67,6 +72,8 @@ impl Category {
             Category::Infection => "infection",
             Category::Flood => "flood",
             Category::Phase => "phase",
+            Category::LinkAdmin => "link_admin",
+            Category::Fault => "fault",
         }
     }
 
@@ -89,6 +96,8 @@ impl Category {
             "infection" => Category::Infection,
             "flood" => Category::Flood,
             "phase" => Category::Phase,
+            "link_admin" => Category::LinkAdmin,
+            "fault" => Category::Fault,
             _ => return None,
         })
     }
@@ -181,6 +190,8 @@ mod tests {
             Category::Infection,
             Category::Flood,
             Category::Phase,
+            Category::LinkAdmin,
+            Category::Fault,
         ] {
             assert_eq!(Category::parse(cat.as_str()), Some(cat));
         }

@@ -24,13 +24,48 @@ cargo run --release --offline -p ddosim-bench --bin perfsnap -- \
 
 # Telemetry determinism self-check: identical seeds must produce
 # byte-identical flight-recorder traces, and `trace diff` must agree.
-trace_a=$(mktemp) trace_b=$(mktemp)
-trap 'rm -f "$fresh_snap" "$trace_a" "$trace_b"' EXIT
+trace_a=$(mktemp) trace_b=$(mktemp) plan=$(mktemp)
+trap 'rm -f "$fresh_snap" "$trace_a" "$trace_b" "$plan"' EXIT
 run_traced() {
+    out=$1; shift
     cargo run --release --offline -p ddosim --bin ddosim -- \
         --devs 6 --attack-at 20 --duration 15 --sim-time 45 --seed 7 \
-        --record "$1" > /dev/null
+        --record "$out" "$@" > /dev/null
 }
 run_traced "$trace_a"
 run_traced "$trace_b"
+cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+
+# Fault-plan smoke: a C&C outage mid-run must land in the flight recorder
+# (start and end), and the bots must re-register with the restarted C&C
+# (strictly more cnc_register events than the 6 initial recruitments).
+cat > "$plan" <<'PLAN'
+{
+  "schema": "ddosim.faults.plan/1",
+  "seed": 0,
+  "faults": [
+    { "at_secs": 40.0, "kind": "cnc_outage", "duration_secs": 20.0 }
+  ]
+}
+PLAN
+run_faulted() {
+    out=$1; shift
+    cargo run --release --offline -p ddosim --bin ddosim -- \
+        --devs 6 --attack-at 20 --duration 15 --sim-time 110 --seed 7 \
+        --faults "$plan" --record "$out" "$@" > /dev/null
+}
+run_faulted "$trace_a"
+# The compact recorder document is one line, so count matches, not lines.
+[ "$(grep -o '"cat":"fault"' "$trace_a" | wc -l)" -ge 2 ]
+[ "$(grep -o '"cat":"cnc_register"' "$trace_a" | wc -l)" -gt 6 ]
+
+# Determinism holds under faults: same seed + same plan -> identical trace.
+run_faulted "$trace_b"
+cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+
+# A zero-fault plan is a strict no-op: its trace matches a run that never
+# passed --faults at all.
+printf '{ "schema": "ddosim.faults.plan/1", "faults": [] }\n' > "$plan"
+run_traced "$trace_a"
+run_traced "$trace_b" --faults "$plan"
 cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"

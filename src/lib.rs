@@ -11,6 +11,7 @@ pub use ddosim_core::*;
 pub use analysis;
 pub use attacker;
 pub use churn;
+pub use faults;
 pub use firmware;
 pub use malware;
 pub use netsim;

@@ -36,6 +36,8 @@ OPTIONS:
     --topology <T>            star (default) | tiered:<regions>:<uplink-bps>
     --reboot-rate <R>         per-device reboots per minute (default 0)
     --strategy <S>            leak-rebase | static-chain | code-injection
+    --faults <FILE>           inject faults from a plan file (schema
+                              ddosim.faults.plan/1; see DESIGN.md)
     --seed <N>                RNG seed (default 42)
     --json                    emit the full RunResult as JSON
     --record <FILE>           write the flight-recorder trace (JSON) to FILE
@@ -67,6 +69,7 @@ struct RunOpts {
     builder: SimulationBuilder,
     json: bool,
     telemetry: TelemetryConfig,
+    faults_path: Option<String>,
     record_out: Option<String>,
     capture_out: Option<String>,
     metrics_out: Option<String>,
@@ -87,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut payload: Option<u32> = None;
     let mut json = false;
     let mut telemetry = TelemetryConfig::default();
+    let mut faults_path: Option<String> = None;
     let mut record_out = None;
     let mut capture_out = None;
     let mut metrics_out: Option<String> = None;
@@ -184,6 +188,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     value("--reboot-rate")?.parse().map_err(|e| format!("--reboot-rate: {e}"))?,
                 )
             }
+            "--faults" => faults_path = Some(value("--faults")?),
             "--seed" => builder = builder.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
             "--json" => json = true,
             "--record" => {
@@ -225,6 +230,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         builder,
         json,
         telemetry,
+        faults_path,
         record_out,
         capture_out,
         metrics_out,
@@ -241,7 +247,13 @@ fn write_doc(path: &str, doc: Option<djson::Json>, what: &str) -> Result<(), Str
 }
 
 fn run(opts: RunOpts) -> Result<(), String> {
-    let RunOpts { builder, json, telemetry, record_out, capture_out, metrics_out } = opts;
+    let RunOpts {
+        mut builder, json, telemetry, faults_path, record_out, capture_out, metrics_out,
+    } = opts;
+    if let Some(path) = faults_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        builder = builder.faults(ddosim::FaultPlan::parse_str(&text)?);
+    }
     let instance = builder.telemetry(telemetry).build()?;
     // Clones share the collectors, so the handle stays readable after
     // `run_to_completion` consumes the instance.
@@ -369,6 +381,7 @@ mod tests {
             (&["--metrics-interval", "0"], "positive"),
             (&["--metrics-interval", "-3"], "positive"),
             (&["--metrics-interval", "soon"], "--metrics-interval"),
+            (&["--faults"], "requires a value"),
             (&["--frobnicate"], "unknown option"),
             (&["trace", "diff", "only-one.json"], "trace diff"),
             (&["trace", "merge", "a.json", "b.json"], "trace diff"),
@@ -406,6 +419,16 @@ mod tests {
         assert_eq!(config.seed, 7);
         assert!(!opts.json);
         assert!(!config.telemetry.any_enabled());
+        assert_eq!(opts.faults_path, None);
+    }
+
+    #[test]
+    fn faults_flag_stores_the_plan_path() {
+        // The file is only read at run time, so parsing alone must accept
+        // any path.
+        let opts = run_opts(&["--faults", "plan.json"]);
+        assert_eq!(opts.faults_path.as_deref(), Some("plan.json"));
+        assert!(opts.builder.config().faults.is_empty(), "plan loads later");
     }
 
     #[test]
