@@ -37,6 +37,27 @@ fn smoke_mode() -> bool {
         || std::env::var("DDOSIM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), best-effort: `None` off Linux or if the field is
+/// missing. The value is a process-lifetime high-water mark, so a
+/// scenario's reading reflects the largest footprint up to and including
+/// that scenario.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// `peak_rss_kb` as a JSON field value (`null` when unavailable).
+fn peak_rss_json() -> djson::Json {
+    peak_rss_kb().map_or(djson::Json::Null, djson::Json::U64)
+}
+
 /// One step of a replayable schedule: pop once, then push these offsets
 /// (nanoseconds after the popped event's time).
 struct Step {
@@ -143,6 +164,7 @@ fn compare(name: &str, pending: usize, schedule: &[Step], reps: usize) -> djson:
         ("calendar_events_per_sec", djson::Json::F64(calendar)),
         ("reference_events_per_sec", djson::Json::F64(reference)),
         ("speedup", djson::Json::F64(speedup)),
+        ("peak_rss_kb", peak_rss_json()),
     ])
 }
 
@@ -158,11 +180,15 @@ impl Application for Sink {
 struct Blaster {
     dst: SocketAddr,
     interval: Duration,
+    /// Initial offset before the first send. Phase-aligned senders on a
+    /// shared Wi-Fi cell collide every tick; staggering models real
+    /// devices' independent clocks.
+    phase: Duration,
 }
 impl Application for Blaster {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.udp_bind(1000).expect("bind");
-        ctx.set_timer(Duration::ZERO, 0);
+        ctx.set_timer(self.phase, 0);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
         let _ = ctx.udp_send(1000, self.dst, Payload::empty(), 512);
@@ -191,6 +217,7 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
             Box::new(Blaster {
                 dst: SocketAddr::new(m.addr_v4, 9),
                 interval: Duration::from_micros(4320), // saturate 1 Mbps with 540 B frames
+                phase: Duration::ZERO,
             }),
         );
     }
@@ -211,6 +238,135 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
         ("packets", djson::Json::U64(packets)),
         ("packets_per_sec", djson::Json::F64(pps)),
         ("peak_pending_events", djson::Json::U64(peak as u64)),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
+}
+
+/// Builds the large multi-hop topology: `cells` Wi-Fi cells, each a router
+/// with a point-to-point uplink into a backbone, with `devs_per_cell`
+/// station devices per cell blasting the target server attached to the
+/// backbone. Every device gets dual-stack host routes on the backbone
+/// (exactly how [`netsim::topology::TieredTopology`] provisions members),
+/// so at 2,000 devices the backbone's route table holds ~4,000 entries —
+/// the table the naive per-packet linear scan has to walk on every
+/// forwarded packet, and the route cache reduces to one hash probe.
+fn large_topology_run(
+    cells: usize,
+    devs_per_cell: usize,
+    sim_secs: u64,
+    route_cache: bool,
+) -> (u64, f64, f64) {
+    use netsim::topology::AddrAllocator;
+    use netsim::WifiConfig;
+
+    let mut sim = Simulator::new(11);
+    sim.set_route_cache(route_cache);
+    let mut alloc = AddrAllocator::new();
+
+    let backbone = sim.add_node("backbone");
+    sim.set_forwarding(backbone, true);
+
+    // Target server on a fat backbone link.
+    let tserver = sim.add_node("tserver");
+    let (tv4, tv6) = alloc.next_pair();
+    let (bv4, bv6) = alloc.next_pair();
+    let t_if = sim.add_iface(tserver, vec![tv4, tv6]);
+    let bt_if = sim.add_iface(backbone, vec![bv4, bv6]);
+    sim.connect_p2p(t_if, bt_if, LinkConfig::new(1_000_000_000, Duration::from_millis(1)))
+        .expect("fresh ifaces");
+    sim.add_default_route(tserver, t_if);
+    sim.add_route(backbone, tv4, 32, bt_if);
+    sim.add_route(backbone, tv6, 128, bt_if);
+    sim.install_app(tserver, Box::new(Sink));
+    let target = SocketAddr::new(tv4, 9);
+
+    for c in 0..cells {
+        let router = sim.add_node(format!("router{c}"));
+        sim.set_forwarding(router, true);
+
+        // Uplink: cell router <-> backbone.
+        let (rv4, rv6) = alloc.next_pair();
+        let (ubv4, ubv6) = alloc.next_pair();
+        let r_up = sim.add_iface(router, vec![rv4, rv6]);
+        let b_up = sim.add_iface(backbone, vec![ubv4, ubv6]);
+        sim.connect_p2p(r_up, b_up, LinkConfig::new(100_000_000, Duration::from_millis(2)))
+            .expect("fresh ifaces");
+        sim.add_default_route(router, r_up);
+
+        // The cell's radio: router interface is the channel gateway.
+        let chan = sim.add_wifi_channel(WifiConfig::default());
+        let (gw4, gw6) = alloc.next_pair();
+        let r_wifi = sim.add_iface(router, vec![gw4, gw6]);
+        sim.attach_wifi(r_wifi, chan).expect("fresh iface");
+        sim.set_wifi_gateway(chan, r_wifi);
+
+        for d in 0..devs_per_cell {
+            let dev = sim.add_node(format!("dev{c}x{d}"));
+            let (dv4, dv6) = alloc.next_pair();
+            let d_if = sim.add_iface(dev, vec![dv4, dv6]);
+            sim.attach_wifi(d_if, chan).expect("fresh iface");
+            sim.add_default_route(dev, d_if);
+            // Downstream host routes: router reaches the device over the
+            // radio; the backbone reaches it via this cell's uplink.
+            sim.add_route(router, dv4, 32, r_wifi);
+            sim.add_route(router, dv6, 128, r_wifi);
+            sim.add_route(backbone, dv4, 32, b_up);
+            sim.add_route(backbone, dv6, 128, b_up);
+            sim.install_app(
+                dev,
+                Box::new(Blaster {
+                    dst: target,
+                    // Modest per-device rate: the interesting load is the
+                    // number of multi-hop forwarding decisions, not radio
+                    // congestion inside one cell.
+                    interval: Duration::from_millis(50),
+                    // Spread in-cell senders across the interval and skew
+                    // cells slightly against each other.
+                    phase: Duration::from_micros((d as u64) * 2_500 + (c as u64) * 13),
+                }),
+            );
+        }
+    }
+
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let s = sim.stats();
+    let packets = s.packets_sent + s.packets_delivered + s.total_dropped();
+    (packets, packets as f64 / elapsed, elapsed)
+}
+
+/// The scale scenario: the same large topology measured twice — once with
+/// the route cache off (reference linear scans) and once with it on — so
+/// the snapshot records the fast path's speedup, not just its absolute
+/// rate. Packet counts must match exactly: the cache is an optimization,
+/// never a behavior change.
+fn large_topology(cells: usize, devs_per_cell: usize, sim_secs: u64) -> djson::Json {
+    let devices = cells * devs_per_cell;
+    let (naive_packets, naive_pps, naive_wall) =
+        large_topology_run(cells, devs_per_cell, sim_secs, false);
+    let (packets, pps, wall) = large_topology_run(cells, devs_per_cell, sim_secs, true);
+    assert_eq!(
+        packets, naive_packets,
+        "route cache must not change simulation behavior"
+    );
+    let speedup = pps / naive_pps;
+    println!(
+        "large-topology: {devices} devices in {cells} cells x {sim_secs}s sim | \
+         cached {pps:.0} packets/s ({wall:.2}s wall) | naive {naive_pps:.0} packets/s \
+         ({naive_wall:.2}s wall) | speedup {speedup:.2}x"
+    );
+    djson::Json::obj([
+        ("cells", djson::Json::U64(cells as u64)),
+        ("devices", djson::Json::U64(devices as u64)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("packets", djson::Json::U64(packets)),
+        ("packets_per_sec", djson::Json::F64(pps)),
+        ("wall_seconds", djson::Json::F64(wall)),
+        ("packets_per_sec_naive", djson::Json::F64(naive_pps)),
+        ("wall_seconds_naive", djson::Json::F64(naive_wall)),
+        ("speedup_vs_naive", djson::Json::F64(speedup)),
+        ("peak_rss_kb", peak_rss_json()),
     ])
 }
 
@@ -218,10 +374,11 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 3] = [
+const GAUGES: [(&str, &str); 4] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
+    ("large_topology", "packets_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -307,6 +464,9 @@ fn main() -> std::process::ExitCode {
     } else {
         (2_000_000, 131_072, 3, 60, 20)
     };
+    // The scale scenario: ≥2,000 devices in the full run, a few hundred in
+    // smoke (still enough multi-hop routes for the cache to matter).
+    let (cells, devs_per_cell, scale_secs) = if smoke { (25, 20, 5) } else { (100, 20, 10) };
     let mut rng = SmallRng::seed_from_u64(0xBE7C);
     let eq_schedule = event_queue_schedule(steps, &mut rng);
     let sat_schedule = link_saturation_schedule(steps, &mut rng);
@@ -314,6 +474,7 @@ fn main() -> std::process::ExitCode {
     let event_queue = compare("event-queue", pending, &eq_schedule, reps);
     let link_saturation = compare("link-saturation", pending, &sat_schedule, reps);
     let sim = whole_sim(spokes, sim_secs);
+    let scale = large_topology(cells, devs_per_cell, scale_secs);
 
     let out = djson::Json::obj([
         ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
@@ -321,6 +482,7 @@ fn main() -> std::process::ExitCode {
         ("event_queue", event_queue),
         ("link_saturation", link_saturation),
         ("whole_sim", sim),
+        ("large_topology", scale),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -339,19 +501,21 @@ fn main() -> std::process::ExitCode {
 mod tests {
     use super::*;
 
-    fn snapshot(eq: f64, sat: f64, sim: f64) -> djson::Json {
+    fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
+        let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
         djson::Json::obj([
             ("event_queue", rate(eq)),
             ("link_saturation", rate(sat)),
-            ("whole_sim", djson::Json::obj([("packets_per_sec", djson::Json::F64(sim))])),
+            ("whole_sim", pps(sim)),
+            ("large_topology", pps(scale)),
         ])
     }
 
     #[test]
     fn small_slowdowns_pass_the_gate() {
-        let base = snapshot(1e6, 2e6, 3e6);
-        let cur = snapshot(0.8e6, 1.9e6, 3.2e6); // worst gauge -20%
+        let base = snapshot(1e6, 2e6, 3e6, 4e6);
+        let cur = snapshot(0.8e6, 1.9e6, 3.2e6, 3.5e6); // worst gauge -20%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(!failed, "{lines:?}");
         assert_eq!(lines.len(), GAUGES.len());
@@ -359,17 +523,33 @@ mod tests {
 
     #[test]
     fn a_single_large_regression_fails_the_gate() {
-        let base = snapshot(1e6, 2e6, 3e6);
-        let cur = snapshot(1e6, 2e6, 2e6); // whole_sim -33%
+        let base = snapshot(1e6, 2e6, 3e6, 4e6);
+        let cur = snapshot(1e6, 2e6, 2e6, 4e6); // whole_sim -33%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed);
         assert!(lines.iter().any(|l| l.contains("REGRESSION")));
     }
 
     #[test]
+    fn a_large_topology_regression_fails_the_gate() {
+        let base = snapshot(1e6, 2e6, 3e6, 4e6);
+        let cur = snapshot(1e6, 2e6, 3e6, 2.5e6); // large_topology -37.5%
+        let (_, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed);
+    }
+
+    #[test]
     fn malformed_snapshots_are_reported_not_panicked() {
-        let err = regressions(&djson::Json::obj([]), &snapshot(1.0, 1.0, 1.0))
+        let err = regressions(&djson::Json::obj([]), &snapshot(1.0, 1.0, 1.0, 1.0))
             .expect_err("missing sections");
         assert!(err.contains("event_queue"));
+    }
+
+    #[test]
+    fn peak_rss_is_available_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM parses on Linux");
+            assert!(kb > 0);
+        }
     }
 }

@@ -60,6 +60,7 @@
 
 pub mod app;
 pub mod equeue;
+pub mod fastmap;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -73,6 +74,7 @@ pub mod wifi;
 
 pub use app::{Application, NullApp};
 pub use equeue::{EventQueue, ReferenceQueue, TimeOrderedQueue};
+pub use fastmap::{FastBuildHasher, FastMap, FastSet};
 pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 pub use link::LinkConfig;
 pub use packet::{Packet, Payload, TransportProto};

@@ -1,7 +1,7 @@
 //! Nodes, interfaces, and routing.
 
+use crate::fastmap::FastMap;
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
-use std::collections::HashMap;
 use std::net::IpAddr;
 
 /// How an interface is attached to the fabric.
@@ -92,6 +92,139 @@ pub fn prefix_contains(prefix: IpAddr, len: u8, addr: IpAddr) -> bool {
     }
 }
 
+/// Largest number of cached destination resolutions per node; beyond it
+/// the cache is cleared wholesale rather than growing without bound (a
+/// scanner sweeping the whole address space must not leak memory).
+const ROUTE_CACHE_CAP: usize = 65_536;
+
+/// Tables at or below this size skip the cache and scan directly: hashing
+/// a destination address costs more than matching a handful of prefixes,
+/// and edge hosts (one default route per family) dominate the node count.
+const SMALL_TABLE_SCAN: usize = 8;
+
+/// A node's routing state: the route list, a lazily-sorted
+/// longest-prefix-match table, and an epoch-invalidated resolution cache.
+///
+/// Steady-state forwarding resolves a destination with a single
+/// [`FastMap`] probe. Any mutation (route add/remove) or admin transition
+/// on an attached link or the node itself bumps `epoch`; the next lookup
+/// notices the stale `cache_epoch`, discards every cached resolution, and
+/// re-sorts the match table if routes changed.
+#[derive(Debug, Default)]
+pub(crate) struct RouteTable {
+    /// Routes in insertion order — the reference (naive) scan uses these.
+    routes: Vec<Route>,
+    /// Match order for the fast path: prefix length descending, and later
+    /// insertion first among equal lengths — the first matching entry is
+    /// exactly what the naive `filter(..).max_by_key(prefix_len)` scan
+    /// returns (`max_by_key` keeps the *last* maximal element on ties).
+    sorted: Vec<Route>,
+    sorted_stale: bool,
+    /// Bumped on every route mutation and relevant admin change.
+    epoch: u64,
+    /// Epoch the cache (and sort order) were built under.
+    cache_epoch: u64,
+    cache: FastMap<IpAddr, Option<Route>>,
+}
+
+impl RouteTable {
+    pub(crate) fn push(&mut self, route: Route) {
+        self.routes.push(route);
+        self.sorted_stale = true;
+        self.invalidate();
+    }
+
+    /// Removes every route matching (prefix, prefix_len); returns how many
+    /// were removed.
+    pub(crate) fn remove(&mut self, prefix: IpAddr, prefix_len: u8) -> usize {
+        let before = self.routes.len();
+        self.routes
+            .retain(|r| !(r.prefix == prefix && r.prefix_len == prefix_len));
+        let removed = before - self.routes.len();
+        if removed > 0 {
+            self.sorted_stale = true;
+            self.invalidate();
+        }
+        removed
+    }
+
+    /// Discards cached resolutions (epoch bump). Called on route mutation
+    /// and on node/link admin transitions.
+    pub(crate) fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The routes in insertion order.
+    pub(crate) fn as_slice(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// The reference resolution: linear filter + max scan. Kept as the
+    /// observable-behaviour oracle for the cached fast path.
+    pub(crate) fn lookup_naive(&self, dst: IpAddr) -> Option<Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.matches(dst))
+            .max_by_key(|r| r.prefix_len)
+            .copied()
+    }
+
+    /// The fast path: one cache probe in steady state; on miss, a scan of
+    /// the sorted match table memoized under the current epoch. Small
+    /// tables bypass the cache entirely — see [`SMALL_TABLE_SCAN`].
+    pub(crate) fn lookup(&mut self, dst: IpAddr) -> Option<Route> {
+        if self.routes.len() <= SMALL_TABLE_SCAN {
+            return self.lookup_naive(dst);
+        }
+        if self.cache_epoch != self.epoch {
+            self.cache.clear();
+            if self.sorted_stale {
+                self.sorted.clear();
+                self.sorted.extend(self.routes.iter().copied());
+                // Stable sort by descending prefix length preserves
+                // insertion order inside each length class; scanning in
+                // reverse therefore prefers later-inserted routes, the
+                // naive scan's tie-break.
+                self.sorted.sort_by(|a, b| b.prefix_len.cmp(&a.prefix_len));
+                self.sorted_stale = false;
+            }
+            self.cache_epoch = self.epoch;
+        }
+        if let Some(cached) = self.cache.get(&dst) {
+            return *cached;
+        }
+        let resolved = self.lookup_sorted(dst);
+        if self.cache.len() >= ROUTE_CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert(dst, resolved);
+        resolved
+    }
+
+    /// Longest-prefix match over the sorted table: within each prefix
+    /// length class (descending), the later-inserted route wins.
+    fn lookup_sorted(&self, dst: IpAddr) -> Option<Route> {
+        let mut class_start = 0;
+        while class_start < self.sorted.len() {
+            let len = self.sorted[class_start].prefix_len;
+            let class_end = class_start
+                + self.sorted[class_start..]
+                    .iter()
+                    .take_while(|r| r.prefix_len == len)
+                    .count();
+            if let Some(hit) = self.sorted[class_start..class_end]
+                .iter()
+                .rev()
+                .find(|r| r.matches(dst))
+            {
+                return Some(*hit);
+            }
+            class_start = class_end;
+        }
+        None
+    }
+}
+
 /// A simulated node: a host, router, or container ghost node.
 #[derive(Debug)]
 pub struct Node {
@@ -104,8 +237,8 @@ pub struct Node {
     /// Internet segment in the paper's topology).
     pub(crate) forward_multicast: bool,
     pub(crate) ifaces: Vec<IfaceId>,
-    pub(crate) routes: Vec<Route>,
-    pub(crate) udp_binds: HashMap<u16, AppId>,
+    pub(crate) routes: RouteTable,
+    pub(crate) udp_binds: FastMap<u16, AppId>,
     pub(crate) next_ephemeral_port: u16,
     /// Packets received and addressed to this node (any transport).
     pub(crate) rx_packets: u64,
@@ -121,8 +254,8 @@ impl Node {
             forwarding: false,
             forward_multicast: false,
             ifaces: Vec::new(),
-            routes: Vec::new(),
-            udp_binds: HashMap::new(),
+            routes: RouteTable::default(),
+            udp_binds: FastMap::default(),
             next_ephemeral_port: 49152,
             rx_packets: 0,
             rx_bytes: 0,
@@ -155,23 +288,58 @@ impl Node {
         &self.ifaces
     }
 
-    /// Longest-prefix-match route lookup.
+    /// Longest-prefix-match route lookup — the reference linear scan.
+    ///
+    /// This is the semantic oracle; the simulator's forwarding path uses
+    /// the epoch-cached [`Node::route_for_cached`], which is proven
+    /// observationally identical by `tests/route_cache.rs`.
     pub fn route_for(&self, dst: IpAddr) -> Option<Route> {
-        self.routes
-            .iter()
-            .filter(|r| r.matches(dst))
-            .max_by_key(|r| r.prefix_len)
-            .copied()
+        self.routes.lookup_naive(dst)
     }
 
+    /// Longest-prefix-match route lookup through the per-node resolution
+    /// cache — the forwarding fast path. A steady-state hit is a single
+    /// hash probe; route mutations and admin transitions invalidate the
+    /// cache via its epoch.
+    pub fn route_for_cached(&mut self, dst: IpAddr) -> Option<Route> {
+        self.routes.lookup(dst)
+    }
+
+    /// The node's routes in insertion order.
+    pub fn routes(&self) -> &[Route] {
+        self.routes.as_slice()
+    }
+
+    /// Ephemeral UDP port range (IANA dynamic ports).
+    pub(crate) const EPHEMERAL_RANGE: std::ops::RangeInclusive<u16> = 49152..=u16::MAX;
+
+    /// Allocates the next free ephemeral UDP port.
+    ///
+    /// # Panics
+    ///
+    /// Panics once every port in the 49152..=65535 range is bound: the
+    /// scan is bounded to one full wrap of the range rather than spinning
+    /// forever.
     pub(crate) fn alloc_ephemeral_port(&mut self) -> u16 {
-        loop {
+        let span = usize::from(*Self::EPHEMERAL_RANGE.end() - *Self::EPHEMERAL_RANGE.start()) + 1;
+        for _ in 0..span {
             let p = self.next_ephemeral_port;
-            self.next_ephemeral_port = if p == u16::MAX { 49152 } else { p + 1 };
+            self.next_ephemeral_port = if p == *Self::EPHEMERAL_RANGE.end() {
+                *Self::EPHEMERAL_RANGE.start()
+            } else {
+                p + 1
+            };
             if !self.udp_binds.contains_key(&p) {
                 return p;
             }
         }
+        panic!(
+            "node {:?}: ephemeral UDP port space exhausted (all {span} ports in \
+             {}..={} are bound)",
+            self.name,
+            Self::EPHEMERAL_RANGE.start(),
+            Self::EPHEMERAL_RANGE.end()
+        );
     }
 }
 
@@ -243,5 +411,71 @@ mod tests {
         });
         assert_eq!(n.alloc_ephemeral_port(), 49153);
         assert_eq!(n.alloc_ephemeral_port(), 49154);
+    }
+
+    #[test]
+    #[should_panic(expected = "ephemeral UDP port space exhausted")]
+    fn ephemeral_port_exhaustion_panics_instead_of_spinning() {
+        let mut n = Node::new("h");
+        let owner = AppId {
+            node: NodeId::from_index(0),
+            slot: 0,
+        };
+        for p in Node::EPHEMERAL_RANGE {
+            n.udp_binds.insert(p, owner);
+        }
+        let _ = n.alloc_ephemeral_port();
+    }
+
+    #[test]
+    fn cached_lookup_matches_naive_and_survives_invalidation() {
+        let mut n = Node::new("r");
+        n.routes.push(Route {
+            prefix: v4(10, 0, 0, 0),
+            prefix_len: 8,
+            iface: IfaceId::from_index(0),
+        });
+        n.routes.push(Route {
+            prefix: v4(10, 0, 5, 0),
+            prefix_len: 24,
+            iface: IfaceId::from_index(1),
+        });
+        let probes = [v4(10, 0, 5, 9), v4(10, 0, 6, 9), v4(192, 168, 0, 1)];
+        for dst in probes {
+            assert_eq!(n.route_for_cached(dst), n.route_for(dst), "{dst}");
+            // Second probe exercises the cache-hit path.
+            assert_eq!(n.route_for_cached(dst), n.route_for(dst), "{dst} (hit)");
+        }
+        // A more specific route inserted later must evict stale resolutions.
+        n.routes.push(Route {
+            prefix: v4(10, 0, 5, 9),
+            prefix_len: 32,
+            iface: IfaceId::from_index(2),
+        });
+        assert_eq!(
+            n.route_for_cached(v4(10, 0, 5, 9)).map(|r| r.iface),
+            Some(IfaceId::from_index(2))
+        );
+        // Removing it restores the previous resolution.
+        assert_eq!(n.routes.remove(v4(10, 0, 5, 9), 32), 1);
+        assert_eq!(
+            n.route_for_cached(v4(10, 0, 5, 9)).map(|r| r.iface),
+            Some(IfaceId::from_index(1))
+        );
+    }
+
+    #[test]
+    fn equal_length_tie_break_prefers_later_insertion_like_naive() {
+        let mut n = Node::new("r");
+        for i in 0..3u32 {
+            n.routes.push(Route {
+                prefix: v4(10, 0, 0, 0),
+                prefix_len: 8,
+                iface: IfaceId::from_index(i as usize),
+            });
+        }
+        let naive = n.route_for(v4(10, 1, 2, 3));
+        assert_eq!(naive.map(|r| r.iface), Some(IfaceId::from_index(2)));
+        assert_eq!(n.route_for_cached(v4(10, 1, 2, 3)), naive);
     }
 }

@@ -4,6 +4,7 @@
 use crate::app::Application;
 use std::any::Any;
 use crate::equeue::{EventQueue, TimeOrderedQueue};
+use crate::fastmap::FastMap;
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use crate::link::{LinkConfig, P2pLink};
 use crate::node::{Attachment, Iface, Node, Route};
@@ -14,7 +15,6 @@ use crate::time::{tx_delay, SimTime};
 use crate::wifi::{WifiChannel, WifiConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
@@ -101,7 +101,12 @@ pub struct Simulator {
     channels: Vec<WifiChannel>,
     apps: Vec<Vec<Option<Box<dyn Application>>>>,
     tcp: Vec<TcpStack>,
-    addr_index: HashMap<IpAddr, IfaceId>,
+    addr_index: FastMap<IpAddr, IfaceId>,
+    /// Whether forwarding resolves destinations through the per-node route
+    /// cache (the default) or the reference linear scan. The naive path
+    /// exists for A/B measurement (`perfsnap large_topology`) and as the
+    /// oracle in equivalence tests.
+    route_cache_enabled: bool,
     rng: SmallRng,
     /// Separate stream for injected wired-link loss draws: loss faults
     /// perturb only this RNG, so enabling them never shifts the jitter /
@@ -115,7 +120,7 @@ pub struct Simulator {
     reported_sweeps: u64,
     stop_requested: bool,
     buffered_now: u64,
-    filters: HashMap<NodeId, IngressFilter>,
+    filters: FastMap<NodeId, IngressFilter>,
 }
 
 impl fmt::Debug for Simulator {
@@ -144,7 +149,8 @@ impl Simulator {
             channels: Vec::new(),
             apps: Vec::new(),
             tcp: Vec::new(),
-            addr_index: HashMap::new(),
+            addr_index: FastMap::default(),
+            route_cache_enabled: true,
             rng: SmallRng::seed_from_u64(seed),
             fault_rng: SmallRng::seed_from_u64(seed ^ 0xFA17),
             stats: Stats::default(),
@@ -153,8 +159,16 @@ impl Simulator {
             reported_sweeps: 0,
             stop_requested: false,
             buffered_now: 0,
-            filters: HashMap::new(),
+            filters: FastMap::default(),
         }
+    }
+
+    /// Enables or disables the per-node route cache. Forwarding behavior is
+    /// identical either way (the naive linear scan is the oracle); the
+    /// toggle exists so benchmarks can measure the cached fast path against
+    /// the reference path on the same topology.
+    pub fn set_route_cache(&mut self, enabled: bool) {
+        self.route_cache_enabled = enabled;
     }
 
     /// Deploys an ingress filter (defense) on a node; replaces any
@@ -368,6 +382,25 @@ impl Simulator {
         self.add_route(node, IpAddr::V6(std::net::Ipv6Addr::UNSPECIFIED), 0, iface);
     }
 
+    /// Removes every route on `node` matching `prefix`/`prefix_len` exactly,
+    /// returning how many were removed. The node's route cache is
+    /// invalidated if anything changed.
+    pub fn remove_route(&mut self, node: NodeId, prefix: IpAddr, prefix_len: u8) -> usize {
+        self.nodes[node.index()].routes.remove(prefix, prefix_len)
+    }
+
+    /// Resolves the egress route for `dst` on `node` exactly as the
+    /// forwarding hot path does: through the epoch-invalidated route cache
+    /// when enabled (the default), otherwise the reference linear scan
+    /// ([`Node::route_for`]).
+    pub fn resolve_route(&mut self, node: NodeId, dst: IpAddr) -> Option<Route> {
+        if self.route_cache_enabled {
+            self.nodes[node.index()].route_for_cached(dst)
+        } else {
+            self.nodes[node.index()].route_for(dst)
+        }
+    }
+
     /// First address of the given family on any of the node's interfaces.
     pub fn node_addr(&self, node: NodeId, want_v6: bool) -> Option<IpAddr> {
         self.nodes[node.index()]
@@ -459,6 +492,11 @@ impl Simulator {
             return;
         }
         n.up = up;
+        // Admin flaps invalidate the node's route cache: resolution itself
+        // does not read admin state today, but keeping the cache's epoch in
+        // lockstep with topology-affecting changes is cheap and means a
+        // future admin-aware lookup cannot silently serve stale entries.
+        n.routes.invalidate();
         self.telemetry.record_event(
             self.now.as_nanos(),
             Some(node.index() as u32),
@@ -537,6 +575,13 @@ impl Simulator {
             return;
         }
         l.admin_up = up;
+        // Invalidate both endpoint nodes' route caches (see set_node_admin).
+        for side in 0..2 {
+            let iface = self.links[link.index()].endpoints[side];
+            let node = self.ifaces[iface.index()].node;
+            self.nodes[node.index()].routes.invalidate();
+        }
+        let l = &mut self.links[link.index()];
         let mut flushed = 0;
         if !up {
             l.epoch += 1;
@@ -800,7 +845,7 @@ impl Simulator {
             }
             return;
         }
-        match self.nodes[node.index()].route_for(dst) {
+        match self.resolve_route(node, dst) {
             Some(route) => self.transmit_on_iface(route.iface, packet),
             None => self.drop_packet(DropReason::NoRoute, node, &packet),
         }

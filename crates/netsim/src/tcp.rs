@@ -9,9 +9,10 @@
 //! control are intentionally omitted — the data plane of the simulated
 //! attacks is UDP, exactly as in the paper (Mirai UDP-PLAIN floods).
 
+use crate::fastmap::FastMap;
 use crate::ids::{AppId, NodeId};
 use crate::packet::{Packet, Payload, TransportProto};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
@@ -135,10 +136,96 @@ struct Conn {
     peer: SocketAddr,
     state: ConnState,
     next_send_seq: u64,
-    unacked: HashMap<u64, UnackedSeg>,
+    unacked: FastMap<u64, UnackedSeg>,
     handshake_retries: u32,
     recv_next: u64,
     recv_buffer: BTreeMap<u64, (Payload, u32)>,
+}
+
+/// Slab of connections keyed by their sequentially-allocated `u64` id.
+///
+/// Connection ids start at 1 and only ever count up (they appear verbatim
+/// in telemetry traces, so allocation order is part of the deterministic
+/// surface — ids are never reused). That makes a dense slab the natural
+/// store: slot `id - base` in a deque, with fully-drained slots compacted
+/// off the front. Lookup is a bounds check and an index instead of a hash;
+/// memory is bounded by the span between the oldest and newest live
+/// connection (an empty slot is one `Option<Box<Conn>>` — 8 bytes).
+#[derive(Debug, Default)]
+struct ConnSlab {
+    /// The connection id of `slots[0]` (meaningless while `slots` is empty).
+    base: u64,
+    slots: VecDeque<Option<Box<Conn>>>,
+    live: usize,
+}
+
+impl ConnSlab {
+    /// Inserts a connection under `id`. Ids must be allocated sequentially
+    /// (each insert's id is at least `base + slots.len()`); gaps from
+    /// never-inserted ids are padded with empty slots.
+    fn insert(&mut self, id: u64, conn: Conn) {
+        if self.live == 0 {
+            self.slots.clear();
+            self.base = id;
+        }
+        debug_assert!(id >= self.base + self.slots.len() as u64, "conn ids are sequential");
+        while self.base + (self.slots.len() as u64) < id {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(Box::new(conn)));
+        self.live += 1;
+    }
+
+    fn index_of(&self, id: u64) -> Option<usize> {
+        let idx = id.checked_sub(self.base)?;
+        (idx < self.slots.len() as u64).then_some(idx as usize)
+    }
+
+    fn get(&self, id: u64) -> Option<&Conn> {
+        self.slots.get(self.index_of(id)?)?.as_deref()
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut Conn> {
+        let idx = self.index_of(id)?;
+        self.slots.get_mut(idx)?.as_deref_mut()
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Box<Conn>> {
+        let idx = self.index_of(id)?;
+        let conn = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        if self.live == 0 {
+            self.slots.clear();
+        } else {
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        Some(conn)
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live connections, in ascending id order (deterministic).
+    fn values(&self) -> impl Iterator<Item = &Conn> {
+        self.slots.iter().filter_map(|s| s.as_deref())
+    }
+
+    /// Live `(id, conn)` pairs, in ascending id order (deterministic).
+    fn iter(&self) -> impl Iterator<Item = (u64, &Conn)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| Some((self.base + i as u64, s.as_deref()?)))
+    }
 }
 
 /// Actions the stack asks the simulator to perform.
@@ -158,9 +245,9 @@ pub(crate) enum TcpAction {
 #[derive(Debug, Default)]
 pub(crate) struct TcpStack {
     node: Option<NodeId>,
-    listeners: HashMap<u16, AppId>,
-    conns: HashMap<u64, Conn>,
-    by_tuple: HashMap<(u16, SocketAddr), u64>,
+    listeners: FastMap<u16, AppId>,
+    conns: ConnSlab,
+    by_tuple: FastMap<(u16, SocketAddr), u64>,
     next_conn: u64,
     next_ephemeral: u16,
 }
@@ -192,7 +279,11 @@ impl TcpStack {
     }
 
     fn alloc_port(&mut self) -> u16 {
-        loop {
+        // One full wrap of the ephemeral range, then give up loudly: an
+        // unbounded loop here spins forever once every port is taken.
+        let range = crate::node::Node::EPHEMERAL_RANGE;
+        let span = u32::from(*range.end() - *range.start()) + 1;
+        for _ in 0..span {
             let p = self.next_ephemeral;
             self.next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
             let in_use = self
@@ -203,6 +294,12 @@ impl TcpStack {
                 return p;
             }
         }
+        panic!(
+            "node {:?}: ephemeral TCP port space exhausted (all {span} ports in {}..={} are in use)",
+            self.node,
+            range.start(),
+            range.end()
+        );
     }
 
     /// Initiates a connection; returns the connection handle and the actions
@@ -223,7 +320,7 @@ impl TcpStack {
             peer,
             state: ConnState::SynSent,
             next_send_seq: 1,
-            unacked: HashMap::new(),
+            unacked: FastMap::default(),
             handshake_retries: 0,
             recv_next: 1,
             recv_buffer: BTreeMap::new(),
@@ -248,7 +345,7 @@ impl TcpStack {
         payload: Payload,
         bytes: u32,
     ) -> Result<Vec<TcpAction>, TcpError> {
-        let c = self.conns.get_mut(&conn.id).ok_or(TcpError::NotConnected)?;
+        let c = self.conns.get_mut(conn.id).ok_or(TcpError::NotConnected)?;
         if c.state != ConnState::Established {
             return Err(TcpError::NotConnected);
         }
@@ -274,7 +371,7 @@ impl TcpStack {
 
     /// Closes a connection, sending a best-effort FIN.
     pub fn close(&mut self, conn: ConnId) -> Vec<TcpAction> {
-        if !self.conns.contains_key(&conn.id) {
+        if self.conns.get(conn.id).is_none() {
             return Vec::new();
         }
         let pkt = self.seg_packet(conn.id, SegKind::Fin);
@@ -289,11 +386,13 @@ impl TcpStack {
     pub fn close_owned_by(&mut self, owner: AppId) -> Vec<TcpAction> {
         self.listeners.retain(|_, o| *o != owner);
         let node = self.node();
+        // Slab iteration is ascending by conn id — a stable, deterministic
+        // order for the FINs this emits onto the wire.
         let ids: Vec<u64> = self
             .conns
             .iter()
             .filter(|(_, c)| c.owner == owner)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         ids.into_iter()
             .flat_map(|id| self.close(ConnId { node, id }))
@@ -303,18 +402,18 @@ impl TcpStack {
     /// Whether the connection exists and is established.
     pub fn is_established(&self, conn: ConnId) -> bool {
         self.conns
-            .get(&conn.id)
+            .get(conn.id)
             .is_some_and(|c| c.state == ConnState::Established)
     }
 
-    fn remove_conn(&mut self, id: u64) -> Option<Conn> {
-        let c = self.conns.remove(&id)?;
+    fn remove_conn(&mut self, id: u64) -> Option<Box<Conn>> {
+        let c = self.conns.remove(id)?;
         self.by_tuple.remove(&(c.local_port, c.peer));
         Some(c)
     }
 
     fn seg_packet(&self, id: u64, kind: SegKind) -> Packet {
-        let c = &self.conns[&id];
+        let c = self.conns.get(id).expect("conn exists");
         let payload_bytes = match &kind {
             SegKind::Data { bytes, .. } => *bytes,
             _ => 0,
@@ -373,7 +472,7 @@ impl TcpStack {
                         peer,
                         state: ConnState::SynReceived,
                         next_send_seq: 1,
-                        unacked: HashMap::new(),
+                        unacked: FastMap::default(),
                         handshake_retries: 0,
                         recv_next: 1,
                         recv_buffer: BTreeMap::new(),
@@ -391,7 +490,7 @@ impl TcpStack {
             }
             (SegKind::SynAck, Some(id)) => {
                 let mut actions = vec![TcpAction::Send(self.seg_packet(id, SegKind::HandshakeAck))];
-                let c = self.conns.get_mut(&id).expect("tuple-mapped conn exists");
+                let c = self.conns.get_mut(id).expect("tuple-mapped conn exists");
                 if c.state == ConnState::SynSent {
                     c.state = ConnState::Established;
                     actions.push(TcpAction::Event(
@@ -404,7 +503,7 @@ impl TcpStack {
                 actions
             }
             (SegKind::HandshakeAck, Some(id)) => {
-                let c = self.conns.get_mut(&id).expect("tuple-mapped conn exists");
+                let c = self.conns.get_mut(id).expect("tuple-mapped conn exists");
                 if c.state == ConnState::SynReceived {
                     c.state = ConnState::Established;
                     vec![TcpAction::Event(
@@ -425,7 +524,7 @@ impl TcpStack {
                 let mut actions = vec![TcpAction::Send(
                     self.seg_packet(id, SegKind::Ack { seq }),
                 )];
-                let c = self.conns.get_mut(&id).expect("tuple-mapped conn exists");
+                let c = self.conns.get_mut(id).expect("tuple-mapped conn exists");
                 // Receiving data implies the peer completed the handshake
                 // (its HandshakeAck may have been lost).
                 if c.state == ConnState::SynReceived {
@@ -439,7 +538,7 @@ impl TcpStack {
                         },
                     ));
                 }
-                let c = self.conns.get_mut(&id).expect("still exists");
+                let c = self.conns.get_mut(id).expect("still exists");
                 if seq >= c.recv_next {
                     c.recv_buffer.entry(seq).or_insert((payload, bytes));
                     // Deliver any now-consecutive prefix.
@@ -460,7 +559,7 @@ impl TcpStack {
                 actions
             }
             (SegKind::Ack { seq }, Some(id)) => {
-                let c = self.conns.get_mut(&id).expect("tuple-mapped conn exists");
+                let c = self.conns.get_mut(id).expect("tuple-mapped conn exists");
                 c.unacked.remove(seq);
                 Vec::new()
             }
@@ -500,7 +599,7 @@ impl TcpStack {
     /// Handles a retransmission-timer expiry.
     pub fn on_rto(&mut self, conn: u64, seq: u64) -> Vec<TcpAction> {
         let node = self.node();
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return Vec::new();
         };
         if seq == 0 {

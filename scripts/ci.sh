@@ -14,6 +14,16 @@ cargo build --release --offline
 cargo build --examples --offline
 cargo test -q --offline
 
+# Hot-path hashing gate: the forwarding fast path (addr index, route
+# tables, TCP demux) must stay on the deterministic FastMap wrappers; a
+# bare std HashMap would quietly reintroduce per-process RandomState.
+for hot in crates/netsim/src/sim.rs crates/netsim/src/node.rs crates/netsim/src/tcp.rs; do
+    if grep -n 'HashMap' "$hot"; then
+        echo "error: $hot mentions HashMap; hot paths use netsim::fastmap::FastMap" >&2
+        exit 1
+    fi
+done
+
 # Performance regression gate: a fresh smoke snapshot must stay within 25%
 # of the committed baseline on every throughput gauge.
 fresh_snap=$(mktemp)
@@ -34,6 +44,13 @@ run_traced() {
 }
 run_traced "$trace_a"
 run_traced "$trace_b"
+cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+
+# The same determinism must hold across a multi-hop routed topology, which
+# exercises the forwarding fast path (route cache + sorted LPM tables) on
+# every forwarded packet.
+run_traced "$trace_a" --topology tiered:3:10000000
+run_traced "$trace_b" --topology tiered:3:10000000
 cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
 
 # Fault-plan smoke: a C&C outage mid-run must land in the flight recorder
