@@ -250,12 +250,7 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
 /// so at 2,000 devices the backbone's route table holds ~4,000 entries —
 /// the table the naive per-packet linear scan has to walk on every
 /// forwarded packet, and the route cache reduces to one hash probe.
-fn large_topology_run(
-    cells: usize,
-    devs_per_cell: usize,
-    sim_secs: u64,
-    route_cache: bool,
-) -> (u64, f64, f64) {
+fn build_large_topology(cells: usize, devs_per_cell: usize, route_cache: bool) -> Simulator {
     use netsim::topology::AddrAllocator;
     use netsim::WifiConfig;
 
@@ -327,13 +322,55 @@ fn large_topology_run(
             );
         }
     }
+    sim
+}
 
+/// Builds the large topology and runs it under load; returns packet count,
+/// packets per wall-clock second, and wall seconds.
+fn large_topology_run(
+    cells: usize,
+    devs_per_cell: usize,
+    sim_secs: u64,
+    route_cache: bool,
+) -> (u64, f64, f64) {
+    let mut sim = build_large_topology(cells, devs_per_cell, route_cache);
     let start = Instant::now();
     sim.run_until(SimTime::from_secs(sim_secs));
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let s = sim.stats();
     let packets = s.packets_sent + s.packets_delivered + s.total_dropped();
     (packets, packets as f64 / elapsed, elapsed)
+}
+
+/// Checkpoint cost: full-world state digests (`Simulator::state_digests`,
+/// the dominant cost of writing a `ddosim.checkpoint/1` snapshot) over the
+/// large multi-hop topology after it has accumulated load — thousands of
+/// nodes, interfaces, Wi-Fi stations, and pending events to fold.
+fn checkpoint_gauge(cells: usize, devs_per_cell: usize, sim_secs: u64, reps: usize) -> djson::Json {
+    const SNAPSHOTS_PER_REP: u64 = 8;
+    let devices = cells * devs_per_cell;
+    let mut sim = build_large_topology(cells, devs_per_cell, true);
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let layers = sim.state_digests().len() as u64; // also warms caches
+    let (_, snapshots_per_sec) = best_rate(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..SNAPSHOTS_PER_REP {
+            for (_, d) in sim.state_digests() {
+                acc = acc.wrapping_add(d);
+            }
+        }
+        std::hint::black_box(acc);
+        SNAPSHOTS_PER_REP
+    });
+    println!(
+        "checkpoint: {devices} devices, {layers} layers | {snapshots_per_sec:.1} snapshots/s"
+    );
+    djson::Json::obj([
+        ("devices", djson::Json::U64(devices as u64)),
+        ("layers", djson::Json::U64(layers)),
+        ("snapshots_per_sec", djson::Json::F64(snapshots_per_sec)),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
 }
 
 /// The scale scenario: the same large topology measured twice — once with
@@ -374,11 +411,12 @@ fn large_topology(cells: usize, devs_per_cell: usize, sim_secs: u64) -> djson::J
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 4] = [
+const GAUGES: [(&str, &str); 5] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
     ("large_topology", "packets_per_sec"),
+    ("checkpoint", "snapshots_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -475,6 +513,7 @@ fn main() -> std::process::ExitCode {
     let link_saturation = compare("link-saturation", pending, &sat_schedule, reps);
     let sim = whole_sim(spokes, sim_secs);
     let scale = large_topology(cells, devs_per_cell, scale_secs);
+    let checkpoint = checkpoint_gauge(cells, devs_per_cell, scale_secs, reps);
 
     let out = djson::Json::obj([
         ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
@@ -483,6 +522,7 @@ fn main() -> std::process::ExitCode {
         ("link_saturation", link_saturation),
         ("whole_sim", sim),
         ("large_topology", scale),
+        ("checkpoint", checkpoint),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -501,7 +541,7 @@ fn main() -> std::process::ExitCode {
 mod tests {
     use super::*;
 
-    fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64) -> djson::Json {
+    fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
         let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
         djson::Json::obj([
@@ -509,13 +549,14 @@ mod tests {
             ("link_saturation", rate(sat)),
             ("whole_sim", pps(sim)),
             ("large_topology", pps(scale)),
+            ("checkpoint", djson::Json::obj([("snapshots_per_sec", djson::Json::F64(ck))])),
         ])
     }
 
     #[test]
     fn small_slowdowns_pass_the_gate() {
-        let base = snapshot(1e6, 2e6, 3e6, 4e6);
-        let cur = snapshot(0.8e6, 1.9e6, 3.2e6, 3.5e6); // worst gauge -20%
+        let base = snapshot(1e6, 2e6, 3e6, 4e6, 50.0);
+        let cur = snapshot(0.8e6, 1.9e6, 3.2e6, 3.5e6, 40.0); // worst gauge -20%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(!failed, "{lines:?}");
         assert_eq!(lines.len(), GAUGES.len());
@@ -523,8 +564,8 @@ mod tests {
 
     #[test]
     fn a_single_large_regression_fails_the_gate() {
-        let base = snapshot(1e6, 2e6, 3e6, 4e6);
-        let cur = snapshot(1e6, 2e6, 2e6, 4e6); // whole_sim -33%
+        let base = snapshot(1e6, 2e6, 3e6, 4e6, 50.0);
+        let cur = snapshot(1e6, 2e6, 2e6, 4e6, 50.0); // whole_sim -33%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed);
         assert!(lines.iter().any(|l| l.contains("REGRESSION")));
@@ -532,15 +573,23 @@ mod tests {
 
     #[test]
     fn a_large_topology_regression_fails_the_gate() {
-        let base = snapshot(1e6, 2e6, 3e6, 4e6);
-        let cur = snapshot(1e6, 2e6, 3e6, 2.5e6); // large_topology -37.5%
+        let base = snapshot(1e6, 2e6, 3e6, 4e6, 50.0);
+        let cur = snapshot(1e6, 2e6, 3e6, 2.5e6, 50.0); // large_topology -37.5%
         let (_, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed);
     }
 
     #[test]
+    fn a_checkpoint_regression_fails_the_gate() {
+        let base = snapshot(1e6, 2e6, 3e6, 4e6, 50.0);
+        let cur = snapshot(1e6, 2e6, 3e6, 4e6, 30.0); // checkpoint -40%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed, "{lines:?}");
+    }
+
+    #[test]
     fn malformed_snapshots_are_reported_not_panicked() {
-        let err = regressions(&djson::Json::obj([]), &snapshot(1.0, 1.0, 1.0, 1.0))
+        let err = regressions(&djson::Json::obj([]), &snapshot(1.0, 1.0, 1.0, 1.0, 1.0))
             .expect_err("missing sections");
         assert!(err.contains("event_queue"));
     }

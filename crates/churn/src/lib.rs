@@ -201,6 +201,17 @@ impl Application for ChurnController {
         "churn-controller"
     }
 
+    fn state_digest(&self, h: &mut netsim::StateHasher) {
+        h.write_usize(self.devices.len());
+        for d in &self.devices {
+            h.write_usize(d.node.index());
+            h.write_bool(d.down);
+        }
+        h.write_u64(self.departures);
+        h.write_u64(self.rejoins);
+        h.write_usize(self.events.len());
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         match self.mode {
             ChurnMode::None => {}

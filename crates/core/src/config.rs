@@ -100,6 +100,11 @@ pub enum TopologyKind {
         /// Capacity of each regional uplink, bps.
         region_uplink_bps: u64,
     },
+    /// The paper's physical validation setup (§IV-B): Devs associate to a
+    /// router over a shared Wi-Fi medium (CSMA/CA contention) and are
+    /// shaped to their IoT access rates; the Attacker and TServer connect
+    /// to the router over wired links.
+    Wifi,
 }
 
 /// The attack to launch once the botnet is assembled.
@@ -310,6 +315,8 @@ impl SimulationConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SimulationBuilder {
     config: SimulationConfig,
+    checkpoint_at: Option<Duration>,
+    resume: Option<crate::Checkpoint>,
 }
 
 impl SimulationBuilder {
@@ -317,6 +324,8 @@ impl SimulationBuilder {
     pub fn new() -> Self {
         SimulationBuilder {
             config: SimulationConfig::default(),
+            checkpoint_at: None,
+            resume: None,
         }
     }
 
@@ -447,6 +456,25 @@ impl SimulationBuilder {
         self
     }
 
+    /// Arms a mid-run snapshot: when the run crosses `at`, a
+    /// [`crate::Checkpoint`] is produced alongside the result (retrieve it
+    /// via [`crate::Ddosim::try_run_to_completion`]).
+    pub fn checkpoint_at(mut self, at: Duration) -> Self {
+        self.checkpoint_at = Some(at);
+        self
+    }
+
+    /// Resumes from a checkpoint instead of starting fresh. The entire
+    /// configuration — telemetry included — is taken from the checkpoint;
+    /// any configuration set on this builder is discarded (a resumed world
+    /// must be rebuilt exactly as the original, or digest verification
+    /// fails).
+    pub fn resume_from(mut self, cp: crate::Checkpoint) -> Self {
+        self.config = cp.config.clone();
+        self.resume = Some(cp);
+        self
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &SimulationConfig {
         &self.config
@@ -458,7 +486,14 @@ impl SimulationBuilder {
     ///
     /// Returns a message if the configuration is invalid.
     pub fn build(self) -> Result<crate::Ddosim, String> {
-        crate::Ddosim::new(self.config)
+        let mut instance = match self.resume {
+            Some(cp) => crate::Ddosim::resume_from(cp)?,
+            None => crate::Ddosim::new(self.config)?,
+        };
+        if let Some(at) = self.checkpoint_at {
+            instance.set_checkpoint_at(at);
+        }
+        Ok(instance)
     }
 
     /// Builds and runs to completion.

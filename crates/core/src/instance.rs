@@ -2,6 +2,7 @@
 //! TServer components wired over the simulated network (Fig. 1 of the
 //! paper).
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::config::{BinaryMix, DaemonKind, Recruitment, SimulationConfig};
 use crate::metrics::{bytes_to_gb, MemoryModel, TServerSink};
 use crate::result::{ChurnSummary, RunResult};
@@ -10,9 +11,10 @@ use churn::{ChurnController, ChurnMode, FanChurnModel};
 use firmware::{CommandSet, ContainerHandle, ContainerRuntime, DnsProxyDaemon, NetMgrDaemon, ServiceCore};
 use malware::{AdminConsole, CncServer, TelnetScanner, TelnetService};
 use crate::config::TopologyKind;
-use netsim::topology::{StarMember, StarTopology, TieredTopology};
+use netsim::topology::{StarMember, StarTopology, TieredTopology, WifiTopology};
 use netsim::{
     AppId, Category, LinkConfig, NodeId, SimTime, Simulator, Telemetry, TraceKind, TraceRecord,
+    WifiConfig,
 };
 use telemetry::CaptureRecord;
 use protocols::{mirai_dictionary, Credential, DNS_PORT};
@@ -120,6 +122,7 @@ fn record_fault(sim: &Simulator, node: NodeId, detail: String) {
 enum Fabric {
     Star(StarTopology),
     Tiered(TieredTopology),
+    Wifi(WifiTopology),
 }
 
 impl Fabric {
@@ -128,6 +131,7 @@ impl Fabric {
         match self {
             Fabric::Star(s) => s.fabric(),
             Fabric::Tiered(t) => t.backbone(),
+            Fabric::Wifi(w) => w.root(),
         }
     }
 
@@ -136,6 +140,7 @@ impl Fabric {
         match self {
             Fabric::Star(s) => s.attach(sim, node, cfg),
             Fabric::Tiered(t) => t.attach_backbone(sim, node, cfg),
+            Fabric::Wifi(w) => w.attach_wired(sim, node, cfg),
         }
     }
 
@@ -150,6 +155,9 @@ impl Fabric {
         match self {
             Fabric::Star(s) => s.attach(sim, node, cfg),
             Fabric::Tiered(t) => t.attach_region(sim, index, node, cfg),
+            // Devs associate to the router over the shared medium, shaped
+            // to their IoT access rate (the paper's lab setup, §IV-B).
+            Fabric::Wifi(w) => w.attach_station(sim, node, cfg.rate_bps),
         }
     }
 }
@@ -174,6 +182,9 @@ pub struct Ddosim {
     churn_ctl: Option<AppId>,
     memory_model: MemoryModel,
     fabric: Fabric,
+    checkpoint_at: Option<Duration>,
+    resume: Option<Checkpoint>,
+    saved_checkpoint: Option<Checkpoint>,
 }
 
 impl Ddosim {
@@ -183,9 +194,45 @@ impl Ddosim {
     ///
     /// Returns a message if the configuration is invalid.
     pub fn new(config: SimulationConfig) -> Result<Self, String> {
+        Self::build(config, false)
+    }
+
+    /// Rebuilds a checkpointed run so it can continue from the snapshot.
+    ///
+    /// The world is reconstructed from the configuration embedded in the
+    /// checkpoint and silently replayed up to the snapshot time on the
+    /// next [`Ddosim::try_run_to_completion`] (telemetry suppressed, so
+    /// the flight recorder splices cleanly onto the prefix the original
+    /// run already wrote). At the snapshot time every layer's state digest
+    /// is verified against the checkpoint before the run continues.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the embedded configuration fails validation.
+    pub fn resume_from(cp: Checkpoint) -> Result<Self, String> {
+        let mut instance = Self::build(cp.config.clone(), true)?;
+        instance.resume = Some(cp);
+        Ok(instance)
+    }
+
+    /// Arms a checkpoint: when the run next crosses `at` (clamped forward
+    /// to the enclosing phase boundary's `advance` call), the full world
+    /// state is digested and a [`Checkpoint`] is produced alongside the
+    /// run result.
+    pub fn set_checkpoint_at(&mut self, at: Duration) {
+        self.checkpoint_at = Some(at);
+    }
+
+    /// Builds the world. `suppressed` arms telemetry suppression *before*
+    /// construction records anything (container starts are recorded at
+    /// t = 0), which is what a resumed run needs for its silent replay.
+    fn build(config: SimulationConfig, suppressed: bool) -> Result<Self, String> {
         config.validate()?;
         let mut sim = Simulator::new(config.seed);
         let telemetry = Telemetry::from_config(&config.telemetry);
+        if suppressed {
+            telemetry.set_suppressed(true);
+        }
         sim.set_telemetry(telemetry.clone());
         if telemetry.captures_packets() {
             let hook = telemetry.clone();
@@ -207,6 +254,11 @@ impl Ddosim {
                 regions,
                 LinkConfig::new(region_uplink_bps, Duration::from_millis(5))
                     .with_queue_capacity(256 * 1024),
+            )),
+            TopologyKind::Wifi => Fabric::Wifi(WifiTopology::new(
+                &mut sim,
+                "router",
+                WifiConfig::default(),
             )),
         };
         let mut runtime = ContainerRuntime::new();
@@ -630,6 +682,9 @@ impl Ddosim {
             churn_ctl,
             memory_model: MemoryModel::default(),
             fabric,
+            checkpoint_at: None,
+            resume: None,
+            saved_checkpoint: None,
         };
         instance.schedule_reconciler();
         Ok(instance)
@@ -753,17 +808,127 @@ impl Ddosim {
         self.sim.run_until(SimTime::ZERO + t);
     }
 
+    /// Every stateful layer's digest, in a stable order: the simulator's
+    /// own layers (event queue, nodes, links, Wi-Fi, TCP, RNG streams,
+    /// stats, apps — the latter covering the bot FSMs, C&C registry,
+    /// scanners, sinks, and controllers) plus the container runtime.
+    fn state_digests(&self) -> Vec<(String, u64)> {
+        let mut digests: Vec<(String, u64)> = self
+            .sim
+            .state_digests()
+            .into_iter()
+            .map(|(layer, d)| (layer.to_owned(), d))
+            .collect();
+        digests.push((
+            "firmware".to_owned(),
+            checkpoint::firmware_digest(&self.runtime),
+        ));
+        digests
+    }
+
+    /// Advances to `to`, honouring any armed resume/checkpoint marks that
+    /// fall inside the window. The resume mark (digest verification +
+    /// recorder splice + unsuppression) is handled *before* the save mark,
+    /// so save→restore→save at the same instant is byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a checkpoint is requested before the resume
+    /// point (the suppressed replay's recorder count is unknown there),
+    /// or when the replayed world's digests diverge from the checkpoint.
+    fn advance(&mut self, to: Duration) -> Result<(), String> {
+        if let (Some(at), Some(cp)) = (self.checkpoint_at, &self.resume) {
+            if at < cp.at {
+                return Err(format!(
+                    "cannot checkpoint at {:.3}s: this run resumes from a \
+                     checkpoint taken at {:.3}s, and the replayed prefix \
+                     records no telemetry (its recorder count is unknown); \
+                     pick a checkpoint time at or after the resume point",
+                    at.as_secs_f64(),
+                    cp.at.as_secs_f64()
+                ));
+            }
+        }
+        if self.resume.as_ref().is_some_and(|cp| cp.at <= to) {
+            let cp = self.resume.take().expect("checked above");
+            self.run_until(cp.at);
+            let here = self.state_digests();
+            for (layer, expected) in &cp.digests {
+                match here.iter().find(|(l, _)| l == layer) {
+                    Some((_, got)) if got == expected => {}
+                    Some((_, got)) => {
+                        return Err(format!(
+                            "resume diverged from the checkpoint in layer \
+                             '{layer}' at {:.3}s: digest {got:#018x} != \
+                             checkpointed {expected:#018x} (was the world \
+                             rebuilt from the same configuration and binary?)",
+                            cp.at.as_secs_f64()
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "resume verification failed: checkpoint layer \
+                             '{layer}' is unknown to this build"
+                        ))
+                    }
+                }
+            }
+            if here.len() != cp.digests.len() {
+                return Err(format!(
+                    "resume verification failed: this build digests {} \
+                     layers but the checkpoint holds {}",
+                    here.len(),
+                    cp.digests.len()
+                ));
+            }
+            let telemetry = self.sim.telemetry();
+            telemetry.splice_recorder(cp.events_recorded);
+            telemetry.set_suppressed(false);
+        }
+        if self.resume.is_none() && self.checkpoint_at.is_some_and(|at| at <= to) {
+            let at = self.checkpoint_at.take().expect("checked above");
+            self.run_until(at);
+            self.saved_checkpoint = Some(Checkpoint {
+                at,
+                config: self.config.clone(),
+                digests: self.state_digests(),
+                events_recorded: self.sim.telemetry().events_recorded(),
+            });
+        }
+        self.run_until(to);
+        Ok(())
+    }
+
     /// Runs the full scenario (initialization → infection → attack →
     /// drain) and collects the result, measuring per-phase wall-clock and
     /// memory as the paper's Table I does.
-    pub fn run_to_completion(mut self) -> RunResult {
+    ///
+    /// Panics on checkpoint/resume failure; use
+    /// [`Ddosim::try_run_to_completion`] when either is armed.
+    pub fn run_to_completion(self) -> RunResult {
+        let (result, _) = self
+            .try_run_to_completion()
+            .expect("no checkpoint/resume armed, so advancing cannot fail");
+        result
+    }
+
+    /// Runs the full scenario like [`Ddosim::run_to_completion`], honouring
+    /// an armed checkpoint ([`Ddosim::set_checkpoint_at`]) and/or resume
+    /// ([`Ddosim::resume_from`]); returns the saved checkpoint (if one was
+    /// armed) alongside the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if resume verification fails or the
+    /// checkpoint/resume marks are inconsistent.
+    pub fn try_run_to_completion(mut self) -> Result<(RunResult, Option<Checkpoint>), String> {
         let attack_start = self.config.attack_at;
         let attack_end = attack_start + self.config.attack.duration;
         let sim_end = self.config.sim_time;
 
         // Phase 1: initialization + infection.
         self.mark_phase("phase: initialization + infection");
-        self.run_until(attack_start);
+        self.advance(attack_start)?;
         let pre_attack_container_bytes = self.runtime.total_memory_bytes();
         let pre_attack_packets = self.sim.stats().packets_sent;
         let infected_before_attack = self.infected_count();
@@ -773,24 +938,42 @@ impl Ddosim {
         // Attack Time).
         self.mark_phase("phase: attack window");
         let wall = Instant::now();
-        self.run_until(attack_end);
+        self.advance(attack_end)?;
         let attack_wall_clock = wall.elapsed();
         let attack_packets = self.sim.stats().packets_sent - pre_attack_packets;
         let attack_container_bytes = self.runtime.total_memory_bytes();
 
         // Phase 3: drain to the horizon.
         self.mark_phase("phase: drain");
-        self.run_until(sim_end);
+        self.advance(sim_end)?;
         self.mark_phase("phase: run complete");
 
-        self.collect(
+        if let Some(cp) = &self.resume {
+            return Err(format!(
+                "resume point {:.3}s lies beyond the simulation horizon \
+                 {:.3}s (nothing would ever be recorded)",
+                cp.at.as_secs_f64(),
+                sim_end.as_secs_f64()
+            ));
+        }
+        if let Some(at) = self.checkpoint_at {
+            return Err(format!(
+                "checkpoint time {:.3}s lies beyond the simulation horizon \
+                 {:.3}s",
+                at.as_secs_f64(),
+                sim_end.as_secs_f64()
+            ));
+        }
+        let saved = self.saved_checkpoint.take();
+        let result = self.collect(
             pre_attack_container_bytes,
             attack_container_bytes,
             attack_packets,
             attack_wall_clock,
             infected_before_attack,
             bots_at_command,
-        )
+        );
+        Ok((result, saved))
     }
 
     fn collect(

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod experiment;
 pub mod instance;
@@ -37,6 +38,7 @@ pub mod record;
 pub mod report;
 pub mod result;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use config::{
     AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, SimulationBuilder,
     SimulationConfig, TopologyKind,

@@ -63,6 +63,24 @@ impl Application for TServerSink {
         "tserver-sink"
     }
 
+    fn state_digest(&self, h: &mut netsim::StateHasher) {
+        h.write_usize(self.per_second_bytes.len());
+        for b in &self.per_second_bytes {
+            h.write_u64(*b);
+        }
+        h.write_u64(self.last_total);
+        h.write_u64(self.flood_packets);
+        h.write_u64(self.flood_bytes);
+        match self.first_flood_at {
+            None => h.write_bool(false),
+            Some(t) => {
+                h.write_bool(true);
+                h.write_u64(t.as_nanos());
+            }
+        }
+        h.write_u32(u32::from(self.bound_port));
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx.udp_bind(self.bound_port);
         ctx.set_timer(Duration::from_secs(1), TIMER_SECOND);

@@ -86,6 +86,12 @@ impl Application for RebootController {
         "reboot-controller"
     }
 
+    fn state_digest(&self, h: &mut netsim::StateHasher) {
+        h.write_usize(self.devices.len());
+        h.write_f64(self.rate_per_min);
+        h.write_u64(self.reboots);
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         if self.rate_per_min > 0.0 {
             ctx.set_timer(REBOOT_EPOCH, TIMER_EPOCH);

@@ -59,6 +59,20 @@ impl CommandSet {
     pub fn contains(&self, command: &str) -> bool {
         self.0.contains(command)
     }
+
+    /// The available commands in sorted order (serialization, digests).
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.0.iter().map(String::as_str)
+    }
+
+    /// Builds a set holding exactly the given commands.
+    pub fn from_list<I, S>(commands: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CommandSet(commands.into_iter().map(Into::into).collect())
+    }
 }
 
 impl Default for CommandSet {

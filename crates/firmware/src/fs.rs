@@ -158,6 +158,11 @@ impl SimFs {
         self.files.insert(path.into(), entry);
     }
 
+    /// Iterates all files in sorted path order (serialization, digests).
+    pub fn files(&self) -> impl Iterator<Item = (&str, &FileEntry)> {
+        self.files.iter().map(|(p, e)| (p.as_str(), e))
+    }
+
     /// Reads a file.
     ///
     /// # Errors

@@ -7,6 +7,7 @@
 //!
 //! [`Ctx`]: crate::sim::Ctx
 
+use crate::digest::StateHasher;
 use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::tcp::TcpEvent;
@@ -55,6 +56,16 @@ pub trait Application: Any {
     /// Called when this app's node comes back up (churn rejoin).
     fn on_node_up(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;
+    }
+
+    /// Folds this application's mutable state into a checkpoint digest.
+    ///
+    /// The default contributes nothing, which is sound for stateless apps;
+    /// stateful apps should fold every field that influences future
+    /// behavior so checkpoint verification can catch replay divergence in
+    /// the application layer, not just the network layers.
+    fn state_digest(&self, hasher: &mut StateHasher) {
+        let _ = hasher;
     }
 }
 

@@ -164,6 +164,24 @@ impl<T> EventQueue<T> {
         self.overflow_sweeps
     }
 
+    /// Visits every pending entry as `(time_nanos, seq, &item)`, in
+    /// arbitrary order (active heap, wheel buckets, then overflow).
+    /// Checkpoint digests collect the entries and sort by `(time, seq)`;
+    /// the queue's own pop order is never derived from this.
+    pub fn for_each_entry(&self, mut f: impl FnMut(u64, u64, &T)) {
+        for Reverse(e) in self.active.iter() {
+            f(e.time_nanos, e.seq, &e.item);
+        }
+        for bucket in &self.buckets {
+            for e in bucket {
+                f(e.time_nanos, e.seq, &e.item);
+            }
+        }
+        for Reverse(e) in self.overflow.iter() {
+            f(e.time_nanos, e.seq, &e.item);
+        }
+    }
+
     fn push_keyed(&mut self, e: Keyed<T>) {
         if e.time_nanos < self.bucket_base {
             self.active.push(Reverse(e));

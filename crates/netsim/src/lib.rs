@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod digest;
 pub mod equeue;
 pub mod fastmap;
 pub mod ids;
@@ -73,6 +74,7 @@ pub mod topology;
 pub mod wifi;
 
 pub use app::{Application, NullApp};
+pub use digest::StateHasher;
 pub use equeue::{EventQueue, ReferenceQueue, TimeOrderedQueue};
 pub use fastmap::{FastBuildHasher, FastMap, FastSet};
 pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};

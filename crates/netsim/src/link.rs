@@ -207,6 +207,27 @@ impl P2pLink {
         self.dirs[0].queued_bytes + self.dirs[1].queued_bytes
     }
 
+    /// Folds the link's mutable state into a checkpoint digest: per-
+    /// direction queue contents (head first — the in-flight frame), busy
+    /// flags, generations, admin state, epoch, and the loss probability
+    /// (mutable at runtime by fault injection).
+    pub(crate) fn state_digest(&self, h: &mut crate::digest::StateHasher) {
+        h.write_usize(self.endpoints[0].index());
+        h.write_usize(self.endpoints[1].index());
+        h.write_f64(self.config.loss_probability);
+        for dir in &self.dirs {
+            h.write_usize(dir.queue.len());
+            for pkt in &dir.queue {
+                pkt.state_digest(h);
+            }
+            h.write_u64(dir.queued_bytes);
+            h.write_bool(dir.busy);
+            h.write_u64(dir.tx_gen);
+        }
+        h.write_bool(self.admin_up);
+        h.write_u64(self.epoch);
+    }
+
     /// Drops all queued packets (e.g. when an endpoint node goes down);
     /// returns how many packets were discarded. A frame mid-serialization
     /// is *not* counted: it is already on the wire and will be accounted

@@ -1,5 +1,6 @@
 //! Nodes, interfaces, and routing.
 
+use crate::digest::StateHasher;
 use crate::fastmap::FastMap;
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use std::net::IpAddr;
@@ -47,6 +48,32 @@ impl Iface {
     /// How the interface is attached, if at all.
     pub fn attachment(&self) -> Option<Attachment> {
         self.attachment
+    }
+
+    /// Folds the interface's state into a checkpoint digest.
+    pub(crate) fn state_digest(&self, h: &mut StateHasher) {
+        h.write_usize(self.node.index());
+        h.write_usize(self.addrs.len());
+        for a in &self.addrs {
+            h.write_ip(*a);
+        }
+        match self.attachment {
+            None => h.write_bytes(&[0]),
+            Some(Attachment::P2p { link, side }) => {
+                h.write_bytes(&[1]);
+                h.write_usize(link.index());
+                h.write_usize(side);
+            }
+            Some(Attachment::Wifi { channel, station }) => {
+                h.write_bytes(&[2]);
+                h.write_usize(channel.index());
+                h.write_usize(station);
+            }
+        }
+        h.write_usize(self.multicast_groups.len());
+        for g in &self.multicast_groups {
+            h.write_ip(*g);
+        }
     }
 }
 
@@ -201,6 +228,21 @@ impl RouteTable {
         resolved
     }
 
+    /// Folds the behavior-bearing routing state into a checkpoint digest:
+    /// the route list (in insertion order, which fixes the tie-break) and
+    /// the invalidation epoch. The memoized cache is deliberately excluded
+    /// — it is observationally transparent, and its contents follow
+    /// deterministically from the lookups performed.
+    pub(crate) fn state_digest(&self, h: &mut StateHasher) {
+        h.write_usize(self.routes.len());
+        for r in &self.routes {
+            h.write_ip(r.prefix);
+            h.write_bytes(&[r.prefix_len]);
+            h.write_usize(r.iface.index());
+        }
+        h.write_u64(self.epoch);
+    }
+
     /// Longest-prefix match over the sorted table: within each prefix
     /// length class (descending), the later-inserted route wins.
     fn lookup_sorted(&self, dst: IpAddr) -> Option<Route> {
@@ -308,6 +350,33 @@ impl Node {
     /// The node's routes in insertion order.
     pub fn routes(&self) -> &[Route] {
         self.routes.as_slice()
+    }
+
+    /// Folds the node's mutable state into a checkpoint digest. UDP binds
+    /// are visited in sorted port order so the digest never depends on map
+    /// iteration order.
+    pub(crate) fn state_digest(&self, h: &mut StateHasher) {
+        h.write_str(&self.name);
+        h.write_bool(self.up);
+        h.write_bool(self.forwarding);
+        h.write_bool(self.forward_multicast);
+        h.write_usize(self.ifaces.len());
+        for i in &self.ifaces {
+            h.write_usize(i.index());
+        }
+        self.routes.state_digest(h);
+        let mut binds: Vec<(u16, AppId)> =
+            self.udp_binds.iter().map(|(p, a)| (*p, *a)).collect();
+        binds.sort_unstable_by_key(|(p, _)| *p);
+        h.write_usize(binds.len());
+        for (port, app) in binds {
+            h.write_u32(u32::from(port));
+            h.write_usize(app.node.index());
+            h.write_usize(app.slot());
+        }
+        h.write_u32(u32::from(self.next_ephemeral_port));
+        h.write_u64(self.rx_packets);
+        h.write_u64(self.rx_bytes);
     }
 
     /// Ephemeral UDP port range (IANA dynamic ports).

@@ -180,6 +180,25 @@ impl Packet {
     pub fn shares_body_with(&self, other: &Packet) -> bool {
         Arc::ptr_eq(&self.body, &other.body)
     }
+
+    /// Folds the packet's wire-visible identity into a checkpoint digest.
+    /// The typed payload is opaque (`Arc<dyn Any>`) and excluded; the id,
+    /// addressing, sizes, and TTL pin the packet down for determinism
+    /// purposes because ids are assigned from a deterministic counter.
+    pub(crate) fn state_digest(&self, h: &mut crate::digest::StateHasher) {
+        h.write_u64(self.id);
+        h.write_bytes(&[self.ttl]);
+        h.write_ip(self.src.ip());
+        h.write_u32(u32::from(self.src.port()));
+        h.write_ip(self.dst.ip());
+        h.write_u32(u32::from(self.dst.port()));
+        h.write_bytes(&[match self.proto {
+            TransportProto::Udp => 0,
+            TransportProto::Tcp => 1,
+        }]);
+        h.write_u32(self.header_bytes);
+        h.write_u32(self.payload_bytes);
+    }
 }
 
 impl PacketBody {

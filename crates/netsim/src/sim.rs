@@ -3,6 +3,7 @@
 
 use crate::app::Application;
 use std::any::Any;
+use crate::digest::StateHasher;
 use crate::equeue::{EventQueue, TimeOrderedQueue};
 use crate::fastmap::FastMap;
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
@@ -57,6 +58,70 @@ pub enum FilterVerdict {
 /// defenses (rate limiters, ML detectors) capture their state in the
 /// closure.
 pub type IngressFilter = Box<dyn FnMut(&Packet, SimTime) -> FilterVerdict>;
+
+/// Folds one pending event into a checkpoint digest. Every variant gets a
+/// distinct tag; `Call` closures are opaque (their effects are pinned down
+/// by the deterministic state they mutate once executed), so only their
+/// presence and queue position are digested.
+fn digest_event(h: &mut StateHasher, event: &Event) {
+    match event {
+        Event::AppStart(app) => {
+            h.write_bytes(&[0]);
+            h.write_usize(app.node().index());
+            h.write_usize(app.slot());
+        }
+        Event::Timer { app, token } => {
+            h.write_bytes(&[1]);
+            h.write_usize(app.node().index());
+            h.write_usize(app.slot());
+            h.write_u64(*token);
+        }
+        Event::TxComplete { link, side, gen } => {
+            h.write_bytes(&[2]);
+            h.write_usize(link.index());
+            h.write_usize(*side);
+            h.write_u64(*gen);
+        }
+        Event::Deliver { iface, packet, epoch } => {
+            h.write_bytes(&[3]);
+            h.write_usize(iface.index());
+            packet.state_digest(h);
+            match epoch {
+                None => h.write_bool(false),
+                Some((link, e)) => {
+                    h.write_bool(true);
+                    h.write_usize(link.index());
+                    h.write_u64(*e);
+                }
+            }
+        }
+        Event::WifiAttempt { chan, station } => {
+            h.write_bytes(&[4]);
+            h.write_usize(chan.index());
+            h.write_usize(*station);
+        }
+        Event::WifiTxComplete { chan, station, gen } => {
+            h.write_bytes(&[5]);
+            h.write_usize(chan.index());
+            h.write_usize(*station);
+            h.write_u64(*gen);
+        }
+        Event::TcpRto { node, conn, seq } => {
+            h.write_bytes(&[6]);
+            h.write_usize(node.index());
+            h.write_u64(*conn);
+            h.write_u64(*seq);
+        }
+        Event::SetNode { node, up } => {
+            h.write_bytes(&[7]);
+            h.write_usize(node.index());
+            h.write_bool(*up);
+        }
+        Event::Call(_) => {
+            h.write_bytes(&[8]);
+        }
+    }
+}
 
 enum Event {
     AppStart(AppId),
@@ -709,6 +774,124 @@ impl Simulator {
     /// Largest number of events that were ever pending simultaneously.
     pub fn peak_pending_events(&self) -> usize {
         self.queue.peak_len()
+    }
+
+    /// Per-layer determinism digests of everything the simulator owns,
+    /// as `(layer name, digest)` pairs in a fixed order.
+    ///
+    /// This is the core of checkpoint verification: a checkpoint stores
+    /// these digests at save time, and resume recomputes them after
+    /// replaying to the checkpoint instant. Layers are digested
+    /// separately so a mismatch names the diverging subsystem (queue,
+    /// nodes, links, wifi, tcp, rng, stats, or apps) instead of a single
+    /// opaque "state differs".
+    pub fn state_digests(&self) -> Vec<(&'static str, u64)> {
+        let mut layers = Vec::with_capacity(8);
+
+        // Event queue: entries are visited in arbitrary internal order, so
+        // digest each one into a sub-hash and sort by the (time, seq) total
+        // order before folding.
+        let mut entries: Vec<(u64, u64, u64)> = Vec::with_capacity(self.queue.len());
+        self.queue.for_each_entry(|time, seq, event| {
+            let mut sub = StateHasher::new();
+            digest_event(&mut sub, event);
+            entries.push((time, seq, sub.finish()));
+        });
+        entries.sort_unstable_by_key(|&(time, seq, _)| (time, seq));
+        let mut h = StateHasher::new();
+        h.write_usize(entries.len());
+        for (time, seq, digest) in entries {
+            h.write_u64(time);
+            h.write_u64(seq);
+            h.write_u64(digest);
+        }
+        layers.push(("netsim.queue", h.finish()));
+
+        let mut h = StateHasher::new();
+        h.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            node.state_digest(&mut h);
+        }
+        h.write_usize(self.ifaces.len());
+        for iface in &self.ifaces {
+            iface.state_digest(&mut h);
+        }
+        layers.push(("netsim.nodes", h.finish()));
+
+        let mut h = StateHasher::new();
+        h.write_usize(self.links.len());
+        for link in &self.links {
+            link.state_digest(&mut h);
+        }
+        layers.push(("netsim.links", h.finish()));
+
+        let mut h = StateHasher::new();
+        h.write_usize(self.channels.len());
+        for chan in &self.channels {
+            chan.state_digest(&mut h);
+        }
+        layers.push(("netsim.wifi", h.finish()));
+
+        let mut h = StateHasher::new();
+        h.write_usize(self.tcp.len());
+        for stack in &self.tcp {
+            stack.state_digest(&mut h);
+        }
+        layers.push(("netsim.tcp", h.finish()));
+
+        // RNG streams plus the deterministic counters they advance with.
+        let mut h = StateHasher::new();
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        for w in self.fault_rng.state_words() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.seq);
+        h.write_u64(self.next_packet_id);
+        h.write_u64(self.now.as_nanos());
+        layers.push(("netsim.rng", h.finish()));
+
+        let mut h = StateHasher::new();
+        let s = &self.stats;
+        for v in [
+            s.packets_sent,
+            s.packets_delivered,
+            s.bytes_delivered,
+            s.dropped_queue_overflow,
+            s.dropped_node_down,
+            s.dropped_ttl,
+            s.dropped_no_route,
+            s.dropped_port_unreachable,
+            s.wifi_collisions,
+            s.dropped_wifi_retries,
+            s.dropped_wifi_loss,
+            s.dropped_filtered,
+            s.dropped_link_down,
+            s.dropped_link_loss,
+            s.peak_buffered_bytes,
+            s.events_executed,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_u64(self.buffered_now);
+        h.write_u64(self.reported_sweeps);
+        layers.push(("netsim.stats", h.finish()));
+
+        let mut h = StateHasher::new();
+        for (node_idx, slots) in self.apps.iter().enumerate() {
+            for (slot, app) in slots.iter().enumerate() {
+                if let Some(app) = app {
+                    h.write_usize(node_idx);
+                    h.write_usize(slot);
+                    h.write_str(app.name());
+                    app.state_digest(&mut h);
+                }
+            }
+        }
+        layers.push(("apps", h.finish()));
+
+        layers
     }
 
     fn handle(&mut self, event: Event) {

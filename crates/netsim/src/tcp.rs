@@ -676,6 +676,58 @@ impl TcpStack {
     pub fn conn_count(&self) -> usize {
         self.conns.len()
     }
+
+    /// Folds the whole stack — listeners, every live connection, and the
+    /// id/port allocators — into a checkpoint digest. Map-backed state is
+    /// visited in sorted key order so the digest is iteration-order-free.
+    pub fn state_digest(&self, h: &mut crate::digest::StateHasher) {
+        let mut listeners: Vec<(u16, AppId)> =
+            self.listeners.iter().map(|(p, a)| (*p, *a)).collect();
+        listeners.sort_unstable_by_key(|(p, _)| *p);
+        h.write_usize(listeners.len());
+        for (port, owner) in listeners {
+            h.write_u32(u32::from(port));
+            h.write_usize(owner.node().index());
+            h.write_usize(owner.slot());
+        }
+        h.write_usize(self.conns.len());
+        for (id, conn) in self.conns.iter() {
+            h.write_u64(id);
+            h.write_usize(conn.owner.node().index());
+            h.write_usize(conn.owner.slot());
+            h.write_ip(conn.local_addr);
+            h.write_u32(u32::from(conn.local_port));
+            h.write_ip(conn.peer.ip());
+            h.write_u32(u32::from(conn.peer.port()));
+            h.write_bytes(&[match conn.state {
+                ConnState::SynSent => 0,
+                ConnState::SynReceived => 1,
+                ConnState::Established => 2,
+            }]);
+            h.write_u64(conn.next_send_seq);
+            let mut unacked: Vec<(u64, u32, u32)> = conn
+                .unacked
+                .iter()
+                .map(|(seq, seg)| (*seq, seg.bytes, seg.retries))
+                .collect();
+            unacked.sort_unstable_by_key(|(seq, ..)| *seq);
+            h.write_usize(unacked.len());
+            for (seq, bytes, retries) in unacked {
+                h.write_u64(seq);
+                h.write_u32(bytes);
+                h.write_u32(retries);
+            }
+            h.write_u32(conn.handshake_retries);
+            h.write_u64(conn.recv_next);
+            h.write_usize(conn.recv_buffer.len());
+            for (seq, (_, bytes)) in &conn.recv_buffer {
+                h.write_u64(*seq);
+                h.write_u32(*bytes);
+            }
+        }
+        h.write_u64(self.next_conn);
+        h.write_u32(u32::from(self.next_ephemeral));
+    }
 }
 
 #[cfg(test)]

@@ -243,6 +243,114 @@ impl TieredTopology {
     }
 }
 
+/// A Wi-Fi access topology: a router (access point) joining stations over
+/// one shared CSMA/CA channel, with wired point-to-point attachments for
+/// core components — the shape of the paper's physical validation setup
+/// (Raspberry-Pi Devs on a Netgear router, servers on Ethernet).
+#[derive(Debug)]
+pub struct WifiTopology {
+    root: NodeId,
+    chan: crate::ids::ChannelId,
+    gateway_iface: IfaceId,
+    alloc: AddrAllocator,
+    members: Vec<StarMember>,
+}
+
+impl WifiTopology {
+    /// Creates the router node with a gateway interface on a fresh Wi-Fi
+    /// channel configured by `config`.
+    pub fn new(sim: &mut Simulator, name: &str, config: crate::wifi::WifiConfig) -> Self {
+        let root = sim.add_node(name);
+        sim.set_forwarding(root, true);
+        sim.set_multicast_relay(root, true);
+        let chan = sim.add_wifi_channel(config);
+        let mut alloc = AddrAllocator::new();
+        let (gv4, gv6) = alloc.next_pair();
+        let gateway_iface = sim.add_iface(root, vec![gv4, gv6]);
+        sim.attach_wifi(gateway_iface, chan)
+            .expect("freshly created interfaces are unattached");
+        sim.set_wifi_gateway(chan, gateway_iface);
+        WifiTopology {
+            root,
+            chan,
+            gateway_iface,
+            alloc,
+            members: Vec::new(),
+        }
+    }
+
+    /// The router (access point) node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The shared channel.
+    pub fn channel(&self) -> crate::ids::ChannelId {
+        self.chan
+    }
+
+    /// Members attached so far (wired and wireless).
+    pub fn members(&self) -> &[StarMember] {
+        &self.members
+    }
+
+    /// Attaches `node` to the router over a wired point-to-point link
+    /// (servers, the attacker).
+    pub fn attach_wired(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        config: LinkConfig,
+    ) -> StarMember {
+        let (v4, v6) = self.alloc.next_pair();
+        let (fv4, fv6) = self.alloc.next_pair();
+        let member_iface = sim.add_iface(node, vec![v4, v6]);
+        let root_iface = sim.add_iface(self.root, vec![fv4, fv6]);
+        sim.connect_p2p(member_iface, root_iface, config)
+            .expect("freshly created interfaces are unattached");
+        sim.add_default_route(node, member_iface);
+        sim.add_route(self.root, v4, 32, root_iface);
+        sim.add_route(self.root, v6, 128, root_iface);
+        let member = StarMember {
+            node,
+            iface: member_iface,
+            addr_v4: v4,
+            addr_v6: v6,
+        };
+        self.members.push(member);
+        member
+    }
+
+    /// Joins `node` to the shared medium as a station, shaped to
+    /// `rate_bps` at the application layer (how the paper's lab limits its
+    /// Raspberry Pis to IoT data rates).
+    pub fn attach_station(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        rate_bps: u64,
+    ) -> StarMember {
+        let (v4, v6) = self.alloc.next_pair();
+        let member_iface = sim.add_iface(node, vec![v4, v6]);
+        sim.attach_wifi(member_iface, self.chan)
+            .expect("freshly created interfaces are unattached");
+        sim.set_wifi_station_shaping(self.chan, member_iface, rate_bps);
+        sim.add_default_route(node, member_iface);
+        // The router reaches stations out its gateway interface; the
+        // channel resolves the destination station by address.
+        sim.add_route(self.root, v4, 32, self.gateway_iface);
+        sim.add_route(self.root, v6, 128, self.gateway_iface);
+        let member = StarMember {
+            node,
+            iface: member_iface,
+            addr_v4: v4,
+            addr_v6: v6,
+        };
+        self.members.push(member);
+        member
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -190,6 +190,41 @@ impl WifiChannel {
         n
     }
 
+    /// Folds the channel's contention state into a checkpoint digest:
+    /// every station's queue, retry/backoff bookkeeping, shaping state,
+    /// the gateway designation, and the medium-busy horizon.
+    pub(crate) fn state_digest(&self, h: &mut crate::digest::StateHasher) {
+        h.write_usize(self.stations.len());
+        for st in &self.stations {
+            h.write_usize(st.iface.index());
+            h.write_usize(st.queue.len());
+            for pkt in &st.queue {
+                pkt.state_digest(h);
+            }
+            h.write_u64(st.queued_bytes);
+            h.write_u32(st.retries);
+            h.write_bool(st.attempt_pending);
+            h.write_bool(st.in_flight);
+            h.write_u64(st.tx_gen);
+            match st.shaping_rate_bps {
+                None => h.write_bool(false),
+                Some(r) => {
+                    h.write_bool(true);
+                    h.write_u64(r);
+                }
+            }
+            h.write_u64(st.next_allowed_tx_nanos);
+        }
+        match self.gateway {
+            None => h.write_bool(false),
+            Some(g) => {
+                h.write_bool(true);
+                h.write_usize(g);
+            }
+        }
+        h.write_u64(self.busy_until_nanos);
+    }
+
     /// Resolves the station index that owns `iface`, if any.
     pub(crate) fn station_of(&self, iface: IfaceId) -> Option<usize> {
         self.stations.iter().position(|s| s.iface == iface)

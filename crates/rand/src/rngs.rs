@@ -11,6 +11,12 @@ pub struct SmallRng {
 }
 
 impl SmallRng {
+    /// The four xoshiro256++ state words, exposed so simulators can fold
+    /// the exact generator position into determinism digests.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     fn from_state(seed: u64) -> Self {
         // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
         let mut sm = seed;

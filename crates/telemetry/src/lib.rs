@@ -100,6 +100,18 @@ struct Inner {
     recorder: Option<FlightRecorder>,
     capture: Option<PacketCapture>,
     metrics: Option<SeriesSet>,
+    /// While set, collectors silently discard everything offered to them.
+    ///
+    /// Checkpoint resume replays the prefix of a run to rebuild simulator
+    /// state; the replayed events must not re-enter the collectors (the
+    /// resumed trace starts at the checkpoint's spliced sequence number).
+    /// The flag lives *here*, behind the `RefCell`, rather than in the
+    /// hot-path `records`/`captures` booleans on [`Telemetry`]: those
+    /// booleans are observable by the simulator (`records_events()` gates
+    /// sweep-report bookkeeping), so flipping them during replay would make
+    /// the replayed simulation diverge from the original. Suppression must
+    /// be invisible to everything except the collectors.
+    suppressed: bool,
 }
 
 /// Cloneable handle to a run's collectors. The default handle is
@@ -133,6 +145,7 @@ impl Telemetry {
             metrics: config
                 .metrics_interval
                 .map(|iv| SeriesSet::new(iv.as_nanos().max(1) as u64)),
+            suppressed: false,
         };
         Telemetry {
             records: inner.recorder.is_some(),
@@ -172,7 +185,11 @@ impl Telemetry {
             return;
         }
         if let Some(inner) = &self.inner {
-            if let Some(rec) = inner.borrow_mut().recorder.as_mut() {
+            let mut inner = inner.borrow_mut();
+            if inner.suppressed {
+                return;
+            }
+            if let Some(rec) = inner.recorder.as_mut() {
                 rec.record(Event { time_nanos, seq: 0, node, category, detail: detail() });
             }
         }
@@ -186,7 +203,11 @@ impl Telemetry {
             return;
         }
         if let Some(inner) = &self.inner {
-            if let Some(cap) = inner.borrow_mut().capture.as_mut() {
+            let mut inner = inner.borrow_mut();
+            if inner.suppressed {
+                return;
+            }
+            if let Some(cap) = inner.capture.as_mut() {
                 cap.offer(make());
             }
         }
@@ -195,8 +216,42 @@ impl Telemetry {
     /// Runs `f` against the metric series when sampling is on.
     pub fn with_metrics(&self, f: impl FnOnce(&mut SeriesSet)) {
         if let Some(inner) = &self.inner {
-            if let Some(set) = inner.borrow_mut().metrics.as_mut() {
+            let mut inner = inner.borrow_mut();
+            if inner.suppressed {
+                return;
+            }
+            if let Some(set) = inner.metrics.as_mut() {
                 f(set);
+            }
+        }
+    }
+
+    /// Turns collector suppression on or off (checkpoint-resume replay).
+    ///
+    /// While suppressed, events, packets, and metric samples offered to
+    /// the handle are silently discarded; the enablement flags visible to
+    /// the simulator (`records_events()` / `captures_packets()`) are
+    /// unchanged, so the simulation itself behaves exactly as if the
+    /// collectors were live. No-op on the disabled handle.
+    pub fn set_suppressed(&self, on: bool) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().suppressed = on;
+        }
+    }
+
+    /// Splices the flight recorder's sequence counters to `seq`, so the
+    /// next recorded event is numbered `seq` (checkpoint resume: the
+    /// replayed prefix was suppressed, and the continuation must number
+    /// events exactly as the uninterrupted run did).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder already holds events (splicing is only
+    /// meaningful right after a suppressed replay).
+    pub fn splice_recorder(&self, seq: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(rec) = inner.borrow_mut().recorder.as_mut() {
+                rec.splice(seq);
             }
         }
     }

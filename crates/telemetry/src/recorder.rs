@@ -71,6 +71,29 @@ impl FlightRecorder {
         }
     }
 
+    /// Fast-forwards the sequence and total counters to `seq` without
+    /// recording anything, so the next [`record`](Self::record) call is
+    /// numbered `seq`.
+    ///
+    /// Checkpoint resume replays the run's prefix with collectors
+    /// suppressed, then splices the recorder to the checkpoint's
+    /// `events_recorded` count; the continuation thereby numbers events
+    /// exactly as the uninterrupted run did, making the resumed trace's
+    /// suffix byte-comparable to the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already recorded — splicing is only valid on
+    /// a recorder that has recorded nothing.
+    pub fn splice(&mut self, seq: u64) {
+        assert!(
+            self.buf.is_empty() && self.total == 0,
+            "FlightRecorder::splice on a non-empty recorder"
+        );
+        self.next_seq = seq;
+        self.total = seq;
+    }
+
     /// Retained events in chronological (sequence) order.
     pub fn events(&self) -> Vec<&Event> {
         let (older, newer) = self.buf.split_at(self.head);

@@ -1,8 +1,19 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build (including examples), full test suite, a smoke run of
-# the performance snapshot gated against the committed baseline, and a
-# telemetry determinism self-check (same seed twice -> `trace diff` finds
-# zero divergence).
+# Tier-1 gate, split into named stages:
+#
+#   build        release + example builds under -D warnings, hot-path
+#                hashing gate (no bare HashMap on forwarding paths)
+#   test         full workspace test suite
+#   perf         perfsnap smoke run gated +/-25% against the committed
+#                baseline (results/BENCH_netsim.json), checkpoint gauge
+#                included
+#   determinism  same seed -> byte-identical traces (star, multi-hop
+#                tiered, fault plan, zero-fault no-op)
+#   checkpoint   resume == straight-through: snapshot mid-attack, resume,
+#                and diff the resumed trace against the original's suffix
+#                (trace suffix + trace diff), plain and under a fault plan
+#
+#   usage: scripts/ci.sh [stage ...]    (no args = all stages, in order)
 #
 # The workspace resolves entirely from in-tree path dependencies (see
 # "Offline builds" in README.md), so this runs without network access.
@@ -10,53 +21,77 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
-cargo build --examples --offline
-cargo test -q --offline
+# Warnings are errors throughout the gate (callers may override).
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-# Hot-path hashing gate: the forwarding fast path (addr index, route
-# tables, TCP demux) must stay on the deterministic FastMap wrappers; a
-# bare std HashMap would quietly reintroduce per-process RandomState.
-for hot in crates/netsim/src/sim.rs crates/netsim/src/node.rs crates/netsim/src/tcp.rs; do
-    if grep -n 'HashMap' "$hot"; then
-        echo "error: $hot mentions HashMap; hot paths use netsim::fastmap::FastMap" >&2
-        exit 1
-    fi
-done
+# One scratch directory for every stage's temp files, cleaned by a single
+# EXIT trap. (Earlier revisions re-armed `trap ... EXIT` per temp file,
+# so only the most recent list was ever cleaned up.)
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
 
-# Performance regression gate: a fresh smoke snapshot must stay within 25%
-# of the committed baseline on every throughput gauge.
-fresh_snap=$(mktemp)
-trap 'rm -f "$fresh_snap"' EXIT
-cargo run --release --offline -p ddosim-bench --bin perfsnap -- --smoke --out "$fresh_snap"
-cargo run --release --offline -p ddosim-bench --bin perfsnap -- \
-    --compare-only results/BENCH_netsim.json "$fresh_snap"
+DDOSIM="cargo run --release --offline -p ddosim --bin ddosim --"
+PERFSNAP="cargo run --release --offline -p ddosim-bench --bin perfsnap --"
 
-# Telemetry determinism self-check: identical seeds must produce
-# byte-identical flight-recorder traces, and `trace diff` must agree.
-trace_a=$(mktemp) trace_b=$(mktemp) plan=$(mktemp)
-trap 'rm -f "$fresh_snap" "$trace_a" "$trace_b" "$plan"' EXIT
+# Small deterministic scenario shared by the determinism and checkpoint
+# stages; extra flags append.
 run_traced() {
     out=$1; shift
-    cargo run --release --offline -p ddosim --bin ddosim -- \
+    $DDOSIM \
         --devs 6 --attack-at 20 --duration 15 --sim-time 45 --seed 7 \
         --record "$out" "$@" > /dev/null
 }
-run_traced "$trace_a"
-run_traced "$trace_b"
-cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
 
-# The same determinism must hold across a multi-hop routed topology, which
-# exercises the forwarding fast path (route cache + sorted LPM tables) on
-# every forwarded packet.
-run_traced "$trace_a" --topology tiered:3:10000000
-run_traced "$trace_b" --topology tiered:3:10000000
-cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+stage_build() {
+    cargo build --release --offline
+    cargo build --examples --offline
 
-# Fault-plan smoke: a C&C outage mid-run must land in the flight recorder
-# (start and end), and the bots must re-register with the restarted C&C
-# (strictly more cnc_register events than the 6 initial recruitments).
-cat > "$plan" <<'PLAN'
+    # Hot-path hashing gate: the forwarding fast path (addr index, route
+    # tables, TCP demux) must stay on the deterministic FastMap wrappers; a
+    # bare std HashMap would quietly reintroduce per-process RandomState.
+    for hot in crates/netsim/src/sim.rs crates/netsim/src/node.rs crates/netsim/src/tcp.rs; do
+        if grep -n 'HashMap' "$hot"; then
+            echo "error: $hot mentions HashMap; hot paths use netsim::fastmap::FastMap" >&2
+            exit 1
+        fi
+    done
+}
+
+stage_test() {
+    cargo test -q --offline
+}
+
+stage_perf() {
+    # Performance regression gate: a fresh smoke snapshot must stay within
+    # 25% of the committed baseline on every throughput gauge (event queue,
+    # link saturation, whole-sim, large topology, checkpoint snapshots).
+    $PERFSNAP --smoke --out "$work/fresh-snap.json"
+    $PERFSNAP --compare-only results/BENCH_netsim.json "$work/fresh-snap.json"
+}
+
+stage_determinism() {
+    trace_a=$work/det-a.json
+    trace_b=$work/det-b.json
+    plan=$work/det-plan.json
+
+    # Identical seeds must produce byte-identical flight-recorder traces,
+    # and `trace diff` must agree.
+    run_traced "$trace_a"
+    run_traced "$trace_b"
+    $DDOSIM trace diff "$trace_a" "$trace_b"
+
+    # The same determinism must hold across a multi-hop routed topology,
+    # which exercises the forwarding fast path (route cache + sorted LPM
+    # tables) on every forwarded packet.
+    run_traced "$trace_a" --topology tiered:3:10000000
+    run_traced "$trace_b" --topology tiered:3:10000000
+    $DDOSIM trace diff "$trace_a" "$trace_b"
+
+    # Fault-plan smoke: a C&C outage mid-run must land in the flight
+    # recorder (start and end), and the bots must re-register with the
+    # restarted C&C (strictly more cnc_register events than the 6 initial
+    # recruitments).
+    cat > "$plan" <<'PLAN'
 {
   "schema": "ddosim.faults.plan/1",
   "seed": 0,
@@ -65,24 +100,93 @@ cat > "$plan" <<'PLAN'
   ]
 }
 PLAN
-run_faulted() {
-    out=$1; shift
-    cargo run --release --offline -p ddosim --bin ddosim -- \
-        --devs 6 --attack-at 20 --duration 15 --sim-time 110 --seed 7 \
-        --faults "$plan" --record "$out" "$@" > /dev/null
+    run_faulted() {
+        out=$1; shift
+        $DDOSIM \
+            --devs 6 --attack-at 20 --duration 15 --sim-time 110 --seed 7 \
+            --faults "$plan" --record "$out" "$@" > /dev/null
+    }
+    run_faulted "$trace_a"
+    # The compact recorder document is one line, so count matches, not lines.
+    [ "$(grep -o '"cat":"fault"' "$trace_a" | wc -l)" -ge 2 ]
+    [ "$(grep -o '"cat":"cnc_register"' "$trace_a" | wc -l)" -gt 6 ]
+
+    # Determinism holds under faults: same seed + same plan -> identical trace.
+    run_faulted "$trace_b"
+    $DDOSIM trace diff "$trace_a" "$trace_b"
+
+    # A zero-fault plan is a strict no-op: its trace matches a run that
+    # never passed --faults at all.
+    printf '{ "schema": "ddosim.faults.plan/1", "faults": [] }\n' > "$plan"
+    run_traced "$trace_a"
+    run_traced "$trace_b" --faults "$plan"
+    $DDOSIM trace diff "$trace_a" "$trace_b"
 }
-run_faulted "$trace_a"
-# The compact recorder document is one line, so count matches, not lines.
-[ "$(grep -o '"cat":"fault"' "$trace_a" | wc -l)" -ge 2 ]
-[ "$(grep -o '"cat":"cnc_register"' "$trace_a" | wc -l)" -gt 6 ]
 
-# Determinism holds under faults: same seed + same plan -> identical trace.
-run_faulted "$trace_b"
-cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+stage_checkpoint() {
+    full=$work/ck-full.json
+    cp_file=$work/ck.json
+    resumed=$work/ck-resumed.json
+    suffix=$work/ck-suffix.json
+    plan=$work/ck-plan.json
 
-# A zero-fault plan is a strict no-op: its trace matches a run that never
-# passed --faults at all.
-printf '{ "schema": "ddosim.faults.plan/1", "faults": [] }\n' > "$plan"
-run_traced "$trace_a"
-run_traced "$trace_b" --faults "$plan"
-cargo run --release --offline -p ddosim --bin ddosim -- trace diff "$trace_a" "$trace_b"
+    # Resume == straight-through: a full run records its trace and
+    # snapshots mid-attack; resuming from the snapshot must reproduce the
+    # trace from the snapshot time on, byte for byte.
+    run_traced "$full" --checkpoint-at 28 --checkpoint-out "$cp_file"
+    $DDOSIM --resume "$cp_file" --record "$resumed" > /dev/null
+    $DDOSIM trace suffix "$full" "$cp_file" > "$suffix"
+    $DDOSIM trace diff "$suffix" "$resumed"
+
+    # The same guarantee under fault injection: pending plan events beyond
+    # the snapshot must fire identically in the resumed run.
+    cat > "$plan" <<'PLAN'
+{
+  "schema": "ddosim.faults.plan/1",
+  "seed": 3,
+  "faults": [
+    { "at_secs": 15.0, "kind": "link_down", "node": "dev-2" },
+    { "at_secs": 25.0, "kind": "link_up", "node": "dev-2" },
+    { "at_secs": 30.0, "kind": "node_crash", "node": "dev-4" },
+    { "at_secs": 40.0, "kind": "node_restore", "node": "dev-4" }
+  ]
+}
+PLAN
+    run_traced "$full" --faults "$plan" --checkpoint-at 28 --checkpoint-out "$cp_file"
+    $DDOSIM --resume "$cp_file" --record "$resumed" > /dev/null
+    $DDOSIM trace suffix "$full" "$cp_file" > "$suffix"
+    $DDOSIM trace diff "$suffix" "$resumed"
+}
+
+ALL_STAGES="build test perf determinism checkpoint"
+summary=""
+
+run_stage() {
+    stage=$1
+    case " $ALL_STAGES " in
+        *" $stage "*) ;;
+        *)
+            echo "error: unknown stage '$stage' (stages: $ALL_STAGES)" >&2
+            exit 2
+            ;;
+    esac
+    echo "==> $stage"
+    stage_start=$(date +%s)
+    "stage_$stage"
+    stage_secs=$(($(date +%s) - stage_start))
+    summary="$summary$(printf '  %-12s %4ds  ok' "$stage" "$stage_secs")
+"
+}
+
+if [ $# -eq 0 ]; then
+    for stage in $ALL_STAGES; do
+        run_stage "$stage"
+    done
+else
+    for stage in "$@"; do
+        run_stage "$stage"
+    done
+fi
+
+echo "==> summary"
+printf '%s' "$summary"

@@ -20,6 +20,7 @@ ddosim — memory-error IoT botnet DDoS simulation (DSN'23 reproduction)
 USAGE:
     ddosim [OPTIONS]
     ddosim trace diff <A.json> <B.json>
+    ddosim trace suffix <TRACE.json> <CHECKPOINT.json>
 
 OPTIONS:
     --devs <N>                number of Devs (default 25)
@@ -33,7 +34,7 @@ OPTIONS:
     --recruitment <R>         memory-error (default)
                               | scanner:<cred-fraction>
                               | worm:<cred-fraction>:<seeds>
-    --topology <T>            star (default) | tiered:<regions>:<uplink-bps>
+    --topology <T>            star (default) | wifi | tiered:<regions>:<uplink-bps>
     --reboot-rate <R>         per-device reboots per minute (default 0)
     --strategy <S>            leak-rebase | static-chain | code-injection
     --faults <FILE>           inject faults from a plan file (schema
@@ -46,12 +47,25 @@ OPTIONS:
                               (clauses: udp|tcp, port N, src IP, dst IP, host IP)
     --metrics-interval <SECS> sample time-series metrics every SECS (fractional ok)
     --metrics-out <FILE>      metrics output file (default ddosim-metrics.json)
+    --checkpoint-at <SECS>    snapshot the full world state when the run
+                              crosses SECS (schema ddosim.checkpoint/1)
+    --checkpoint-out <FILE>   checkpoint output file (default ddosim-checkpoint.json)
+    --resume <FILE>           continue a checkpointed run: the world is rebuilt
+                              from the checkpoint's embedded configuration and
+                              silently replayed to the snapshot time, then the
+                              flight recorder splices onto the original prefix;
+                              world-shaping flags (--devs, --seed, ...) are
+                              rejected, output paths (--record, ...) are not
     -h, --help                show this help
 
 SUBCOMMANDS:
     trace diff <A> <B>        compare two telemetry JSON files entry by entry;
                               exit 0 if identical, print the first diverging
                               entry and exit 1 otherwise
+    trace suffix <T> <CP>     print trace T restricted to events recorded at or
+                              after checkpoint CP's snapshot (seq >= the
+                              checkpoint's recorder count); diffing that against
+                              a resumed run's trace proves resume = straight-through
 ";
 
 /// A parsed command line.
@@ -62,6 +76,8 @@ enum Cli {
     Run(Box<RunOpts>),
     /// Compare two telemetry JSON files.
     TraceDiff { a: String, b: String },
+    /// Restrict a trace to the events at or after a checkpoint.
+    TraceSuffix { trace: String, checkpoint: String },
 }
 
 /// Everything a simulation run needs from the command line.
@@ -73,7 +89,20 @@ struct RunOpts {
     record_out: Option<String>,
     capture_out: Option<String>,
     metrics_out: Option<String>,
+    checkpoint_at: Option<Duration>,
+    checkpoint_out: Option<String>,
+    resume_path: Option<String>,
 }
+
+/// Flags that shape the simulated world (as opposed to naming output
+/// files). A resumed run rebuilds the world from the checkpoint's embedded
+/// configuration, so combining any of these with `--resume` is an error —
+/// they would be silently discarded otherwise.
+const WORLD_FLAGS: &[&str] = &[
+    "--devs", "--churn", "--vector", "--duration", "--attack-at", "--sim-time",
+    "--payload", "--access-rate", "--recruitment", "--strategy", "--topology",
+    "--reboot-rate", "--faults", "--seed", "--capture-filter", "--metrics-interval",
+];
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     if args.first().map(String::as_str) == Some("trace") {
@@ -81,7 +110,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             [ref sub, ref a, ref b] if sub == "diff" => {
                 Ok(Cli::TraceDiff { a: a.clone(), b: b.clone() })
             }
-            _ => Err("usage: ddosim trace diff <A.json> <B.json>".to_owned()),
+            [ref sub, ref t, ref cp] if sub == "suffix" => Ok(Cli::TraceSuffix {
+                trace: t.clone(),
+                checkpoint: cp.clone(),
+            }),
+            _ => Err(
+                "usage: ddosim trace diff <A.json> <B.json> | trace suffix \
+                 <TRACE.json> <CHECKPOINT.json>"
+                    .to_owned(),
+            ),
         };
     }
     let mut builder = SimulationBuilder::new().devs(25);
@@ -94,8 +131,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut record_out = None;
     let mut capture_out = None;
     let mut metrics_out: Option<String> = None;
+    let mut checkpoint_at: Option<Duration> = None;
+    let mut checkpoint_out: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut world_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if world_flag.is_none() && WORLD_FLAGS.contains(&arg.as_str()) {
+            world_flag = Some(arg.clone());
+        }
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
                 .cloned()
@@ -175,6 +219,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let parts: Vec<&str> = v.split(':').collect();
                 let t = match parts.as_slice() {
                     ["star"] => ddosim::TopologyKind::Star,
+                    ["wifi"] => ddosim::TopologyKind::Wifi,
                     ["tiered", r, bps] => ddosim::TopologyKind::Tiered {
                         regions: r.parse().map_err(|e| format!("--topology: {e}"))?,
                         region_uplink_bps: bps.parse().map_err(|e| format!("--topology: {e}"))?,
@@ -213,9 +258,36 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 telemetry.metrics_interval = Some(Duration::from_secs_f64(secs));
             }
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--checkpoint-at" => {
+                let secs: f64 = value("--checkpoint-at")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-at: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--checkpoint-at: must be non-negative".to_owned());
+                }
+                checkpoint_at = Some(Duration::from_secs_f64(secs));
+            }
+            "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?),
+            "--resume" => resume_path = Some(value("--resume")?),
             "-h" | "--help" => return Ok(Cli::Help),
             other => return Err(format!("unknown option: {other}")),
         }
+    }
+    if resume_path.is_some() {
+        if let Some(flag) = world_flag {
+            return Err(format!(
+                "{flag} cannot be combined with --resume: a resumed run \
+                 rebuilds the world exactly from the checkpoint's embedded \
+                 configuration, telemetry included (output paths such as \
+                 --record are still allowed)"
+            ));
+        }
+    }
+    if checkpoint_out.is_some() && checkpoint_at.is_none() {
+        return Err("--checkpoint-out requires --checkpoint-at".to_owned());
+    }
+    if checkpoint_at.is_some() && checkpoint_out.is_none() {
+        checkpoint_out = Some("ddosim-checkpoint.json".to_owned());
     }
     if telemetry.metrics_interval.is_some() && metrics_out.is_none() {
         metrics_out = Some("ddosim-metrics.json".to_owned());
@@ -234,6 +306,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         record_out,
         capture_out,
         metrics_out,
+        checkpoint_at,
+        checkpoint_out,
+        resume_path,
     })))
 }
 
@@ -249,16 +324,31 @@ fn write_doc(path: &str, doc: Option<djson::Json>, what: &str) -> Result<(), Str
 fn run(opts: RunOpts) -> Result<(), String> {
     let RunOpts {
         mut builder, json, telemetry, faults_path, record_out, capture_out, metrics_out,
+        checkpoint_at, checkpoint_out, resume_path,
     } = opts;
     if let Some(path) = faults_path {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
         builder = builder.faults(ddosim::FaultPlan::parse_str(&text)?);
     }
-    let instance = builder.telemetry(telemetry).build()?;
+    builder = builder.telemetry(telemetry);
+    if let Some(path) = &resume_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        builder = builder.resume_from(ddosim::Checkpoint::parse(&text)?);
+    }
+    if let Some(at) = checkpoint_at {
+        builder = builder.checkpoint_at(at);
+    }
+    let instance = builder.build()?;
     // Clones share the collectors, so the handle stays readable after
-    // `run_to_completion` consumes the instance.
+    // `try_run_to_completion` consumes the instance.
     let tele = instance.telemetry().clone();
-    let result = instance.run_to_completion();
+    let (result, saved) = instance.try_run_to_completion()?;
+    if let Some(cp) = saved {
+        let path = checkpoint_out.as_deref().unwrap_or("ddosim-checkpoint.json");
+        std::fs::write(path, cp.to_string_pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("checkpoint written to {path}");
+    }
     if let Some(path) = record_out {
         write_doc(&path, tele.recorder_json(), "flight recorder")?;
     }
@@ -286,6 +376,53 @@ fn run(opts: RunOpts) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Builds the suffix document: `trace` with its event list restricted to
+/// events recorded at or after the checkpoint's snapshot. Diffing the
+/// result against a resumed run's full trace proves (or refutes) that
+/// resume reproduced the straight-through run byte for byte.
+fn suffix_doc(trace_text: &str, checkpoint_text: &str) -> Result<djson::Json, String> {
+    let cp = ddosim::Checkpoint::parse(checkpoint_text)?;
+    let mut doc =
+        djson::Json::parse(trace_text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let djson::Json::Obj(members) = &mut doc else {
+        return Err("trace is not a JSON object".to_owned());
+    };
+    let events = members
+        .iter_mut()
+        .find(|(k, _)| k == "events")
+        .ok_or_else(|| "trace has no 'events' array".to_owned())?;
+    let djson::Json::Arr(list) = &mut events.1 else {
+        return Err("trace 'events' is not an array".to_owned());
+    };
+    list.retain(|e| {
+        e.get("seq")
+            .and_then(djson::Json::as_u64)
+            .is_some_and(|seq| seq >= cp.events_recorded)
+    });
+    Ok(doc)
+}
+
+/// Prints a trace restricted to the events at or after a checkpoint
+/// (exit code 0, or 2 if either file is unreadable).
+fn trace_suffix(trace_path: &str, checkpoint_path: &str) -> ExitCode {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    let result = read(trace_path)
+        .and_then(|t| read(checkpoint_path).map(|c| (t, c)))
+        .and_then(|(t, c)| suffix_doc(&t, &c));
+    match result {
+        Ok(doc) => {
+            println!("{}", doc.to_string_compact());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Compares two telemetry JSON files; the process exit code reports the
@@ -325,6 +462,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Cli::TraceDiff { a, b }) => trace_diff(&a, &b),
+        Ok(Cli::TraceSuffix { trace, checkpoint }) => trace_suffix(&trace, &checkpoint),
         Ok(Cli::Run(opts)) => match run(*opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
@@ -356,6 +494,7 @@ mod tests {
                 match other {
                     Ok(Cli::Help) => "help".to_owned(),
                     Ok(Cli::TraceDiff { .. }) => "trace diff".to_owned(),
+                    Ok(Cli::TraceSuffix { .. }) => "trace suffix".to_owned(),
                     Ok(Cli::Run(_)) => unreachable!(),
                     Err(e) => format!("error: {e}"),
                 }
@@ -385,6 +524,15 @@ mod tests {
             (&["--frobnicate"], "unknown option"),
             (&["trace", "diff", "only-one.json"], "trace diff"),
             (&["trace", "merge", "a.json", "b.json"], "trace diff"),
+            (&["trace", "suffix", "only-one.json"], "trace suffix"),
+            (&["--checkpoint-at", "-5"], "non-negative"),
+            (&["--checkpoint-at", "soon"], "--checkpoint-at"),
+            (&["--checkpoint-out", "cp.json"], "--checkpoint-at"),
+            (&["--resume", "cp.json", "--devs", "10"], "--devs"),
+            (&["--resume", "cp.json", "--seed", "1"], "--seed"),
+            (&["--resume", "cp.json", "--topology", "wifi"], "--topology"),
+            (&["--resume", "cp.json", "--metrics-interval", "1"], "--metrics-interval"),
+            (&["--topology", "mesh"], "unknown topology"),
         ];
         for (args, fragment) in table {
             match parse(args) {
@@ -455,6 +603,65 @@ mod tests {
         assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
         // Without an interval there is nothing to write.
         assert_eq!(run_opts(&[]).metrics_out, None);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let opts = run_opts(&["--checkpoint-at", "75.5"]);
+        assert_eq!(opts.checkpoint_at, Some(Duration::from_secs_f64(75.5)));
+        assert_eq!(opts.checkpoint_out.as_deref(), Some("ddosim-checkpoint.json"));
+        let opts = run_opts(&["--checkpoint-at", "75", "--checkpoint-out", "cp.json"]);
+        assert_eq!(opts.checkpoint_out.as_deref(), Some("cp.json"));
+        assert!(run_opts(&[]).checkpoint_out.is_none());
+    }
+
+    #[test]
+    fn resume_allows_output_paths() {
+        // Output paths are not world-shaping: a resumed run may write its
+        // trace anywhere, the telemetry *collection* config still comes
+        // from the checkpoint.
+        let opts = run_opts(&["--resume", "cp.json", "--record", "out.json", "--json"]);
+        assert_eq!(opts.resume_path.as_deref(), Some("cp.json"));
+        assert_eq!(opts.record_out.as_deref(), Some("out.json"));
+        assert!(opts.json);
+        // A resumed run may also re-checkpoint (at or after the resume
+        // point; the run itself enforces the ordering).
+        let opts = run_opts(&["--resume", "cp.json", "--checkpoint-at", "80"]);
+        assert_eq!(opts.checkpoint_at, Some(Duration::from_secs(80)));
+    }
+
+    #[test]
+    fn wifi_topology_parses() {
+        let opts = run_opts(&["--topology", "wifi"]);
+        assert_eq!(opts.builder.config().topology, ddosim::TopologyKind::Wifi);
+    }
+
+    #[test]
+    fn trace_suffix_subcommand_parses() {
+        match parse(&["trace", "suffix", "t.json", "cp.json"]) {
+            Ok(Cli::TraceSuffix { trace, checkpoint }) => {
+                assert_eq!(trace, "t.json");
+                assert_eq!(checkpoint, "cp.json");
+            }
+            _ => panic!("trace suffix did not parse"),
+        }
+    }
+
+    #[test]
+    fn suffix_doc_filters_events_below_the_checkpoint_count() {
+        let cp = ddosim::Checkpoint {
+            at: Duration::from_secs(10),
+            config: ddosim::SimulationConfig::default(),
+            digests: Vec::new(),
+            events_recorded: 2,
+        };
+        let trace = r#"{"schema":"s","capacity":4,"total_recorded":4,
+            "events":[{"seq":0},{"seq":1},{"seq":2},{"seq":3}]}"#;
+        let doc = suffix_doc(trace, &cp.to_string_pretty()).expect("valid inputs");
+        let events = doc.get("events").and_then(djson::Json::as_array).unwrap();
+        let seqs: Vec<u64> = events.iter().filter_map(|e| e.get("seq")?.as_u64()).collect();
+        assert_eq!(seqs, [2, 3]);
+        assert_eq!(doc.get("total_recorded").and_then(djson::Json::as_u64), Some(4));
     }
 
     #[test]
