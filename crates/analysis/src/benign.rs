@@ -44,6 +44,15 @@ impl Application for BenignClient {
         "benign-client"
     }
 
+    fn fork(&self, _map: &netsim::ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(BenignClient {
+            server: self.server,
+            mean_interval: self.mean_interval,
+            src_port: self.src_port,
+            sent: self.sent,
+        }))
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.src_port = ctx.udp_bind_ephemeral();
         self.arm(ctx);

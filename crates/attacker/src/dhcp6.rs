@@ -13,7 +13,7 @@
 use crate::exploit::ExploitForge;
 use firmware::{OPTION_LEAK_PROBE, OPTION_LEAK_VALUE};
 use netsim::packet::all_dhcp_agents_v6;
-use netsim::{Application, Ctx, Packet, Payload};
+use netsim::{Application, Ctx, ForkMap, Packet, Payload};
 use protocols::{
     Dhcpv6Kind, Dhcpv6Message, Dhcpv6Option, DHCPV6_CLIENT_PORT, DHCPV6_SERVER_PORT,
     OPTION_RELAY_MSG,
@@ -96,6 +96,18 @@ impl Dhcpv6Injector {
 impl Application for Dhcpv6Injector {
     fn name(&self) -> &str {
         "dhcp6-injector"
+    }
+
+    fn fork(&self, _map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(Dhcpv6Injector {
+            forge: self.forge.clone(),
+            probe_interval: self.probe_interval,
+            next_transaction: self.next_transaction,
+            exploited: self.exploited.clone(),
+            probes_sent: self.probes_sent,
+            leaks_received: self.leaks_received,
+            exploits_sent: self.exploits_sent,
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

@@ -13,7 +13,7 @@
 
 use crate::exploit::ExploitForge;
 use firmware::{parse_leak_query_name, RTYPE_LEAK_PROBE};
-use netsim::{Application, Ctx, Packet, Payload};
+use netsim::{Application, Ctx, ForkMap, Packet, Payload};
 use protocols::{DnsMessage, DnsRecord, DNS_PORT};
 use std::collections::HashSet;
 use std::net::IpAddr;
@@ -71,6 +71,16 @@ impl MaliciousDnsServer {
 impl Application for MaliciousDnsServer {
     fn name(&self) -> &str {
         "malicious-dns"
+    }
+
+    fn fork(&self, _map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(MaliciousDnsServer {
+            forge: self.forge.clone(),
+            exploited: self.exploited.clone(),
+            probes_sent: self.probes_sent,
+            leaks_received: self.leaks_received,
+            exploits_sent: self.exploits_sent,
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

@@ -3,7 +3,7 @@
 //! over HTTP.
 
 use firmware::ServedFile;
-use netsim::{Application, Ctx, Payload, TcpEvent};
+use netsim::{Application, Ctx, ForkMap, Payload, TcpEvent};
 use protocols::{HttpRequest, HttpResponse, HTTP_PORT};
 use std::collections::HashMap;
 
@@ -41,6 +41,16 @@ impl FileServer {
 impl Application for FileServer {
     fn name(&self) -> &str {
         "apache"
+    }
+
+    fn fork(&self, _map: &ForkMap) -> Option<Box<dyn Application>> {
+        // ServedFile entries share their ProgramLauncher through an Arc;
+        // launchers capture only plain configuration, so sharing is safe.
+        Some(Box::new(FileServer {
+            files: self.files.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

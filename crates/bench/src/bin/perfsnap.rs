@@ -168,15 +168,19 @@ fn compare(name: &str, pending: usize, schedule: &[Step], reps: usize) -> djson:
     ])
 }
 
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct Sink;
 impl Application for Sink {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.udp_bind(9).expect("bind");
     }
     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &Packet) {}
+    fn fork(&self, _map: &netsim::ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(*self))
+    }
 }
 
+#[derive(Clone, Copy)]
 struct Blaster {
     dst: SocketAddr,
     interval: Duration,
@@ -193,6 +197,9 @@ impl Application for Blaster {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
         let _ = ctx.udp_send(1000, self.dst, Payload::empty(), 512);
         ctx.set_timer(self.interval, 0);
+    }
+    fn fork(&self, _map: &netsim::ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -407,16 +414,97 @@ fn large_topology(cells: usize, devs_per_cell: usize, sim_secs: u64) -> djson::J
     ])
 }
 
+/// Scenario-tree cost: K alternative futures branching at T = half the
+/// horizon on the large multi-hop world, once via in-memory forking
+/// ([`Simulator::fork`] of the shared prefix, then run each branch) and
+/// once via the replay alternative (rebuild the world from scratch and
+/// re-run the `0 → T` prefix for every branch — what checkpoint-restore
+/// does K times over). Every branch runs the identical future, so both
+/// paths must report exactly the same packet totals; the gauge is
+/// branches completed per second on the fork path, with the speedup over
+/// replay recorded alongside.
+fn fork_gauge(cells: usize, devs_per_cell: usize, sim_secs: u64, branches: usize) -> djson::Json {
+    let devices = cells * devs_per_cell;
+    let fork_at = sim_secs / 2;
+    let mut parent = build_large_topology(cells, devs_per_cell, true);
+    parent.run_until(SimTime::from_secs(fork_at));
+
+    let map = netsim::ForkMap::new();
+
+    // Branch acquisition, fork path: K runnable worlds standing at T.
+    let start = Instant::now();
+    let mut forks: Vec<Simulator> = (0..branches)
+        .map(|_| parent.fork(&map).expect("the bench world is forkable"))
+        .collect();
+    let fork_wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Branch acquisition, replay path: rebuild from scratch and re-run the
+    // 0→T prefix for every branch.
+    let start = Instant::now();
+    let mut replays: Vec<Simulator> = (0..branches)
+        .map(|_| {
+            let mut world = build_large_topology(cells, devs_per_cell, true);
+            world.run_until(SimTime::from_secs(fork_at));
+            world
+        })
+        .collect();
+    let replay_wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    // The futures themselves cost the same either way; run both sets to
+    // the horizon and hold them to identical packet totals.
+    let total = |sim: &Simulator| {
+        let s = sim.stats();
+        s.packets_sent + s.packets_delivered + s.total_dropped()
+    };
+    let start = Instant::now();
+    for branch in &mut forks {
+        branch.run_until(SimTime::from_secs(sim_secs));
+    }
+    let run_wall = start.elapsed().as_secs_f64().max(1e-9);
+    for world in &mut replays {
+        world.run_until(SimTime::from_secs(sim_secs));
+        assert_eq!(
+            total(world),
+            total(&forks[0]),
+            "a forked branch must replay the identical future"
+        );
+    }
+
+    let branches_per_sec = branches as f64 / fork_wall;
+    let speedup = replay_wall / fork_wall;
+    let end_to_end = (replay_wall + run_wall) / (fork_wall + run_wall);
+    println!(
+        "fork: {devices} devices, {branches} branches at t={fork_at}s of {sim_secs}s | \
+         fork {fork_wall:.2}s | replay restore {replay_wall:.2}s | suffix runs {run_wall:.2}s | \
+         {branches_per_sec:.2} branches/s | restore speedup {speedup:.2}x | end-to-end {end_to_end:.2}x"
+    );
+    djson::Json::obj([
+        ("devices", djson::Json::U64(devices as u64)),
+        ("branches", djson::Json::U64(branches as u64)),
+        ("fork_at_secs", djson::Json::U64(fork_at)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("packets_per_branch", djson::Json::U64(total(&forks[0]))),
+        ("fork_wall_seconds", djson::Json::F64(fork_wall)),
+        ("replay_wall_seconds", djson::Json::F64(replay_wall)),
+        ("suffix_run_wall_seconds", djson::Json::F64(run_wall)),
+        ("branches_per_sec", djson::Json::F64(branches_per_sec)),
+        ("speedup_vs_replay", djson::Json::F64(speedup)),
+        ("end_to_end_speedup", djson::Json::F64(end_to_end)),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
+}
+
 /// Maximum tolerated throughput loss before the gate fails (25%).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 5] = [
+const GAUGES: [(&str, &str); 6] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
     ("large_topology", "packets_per_sec"),
     ("checkpoint", "snapshots_per_sec"),
+    ("fork", "branches_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -514,6 +602,7 @@ fn main() -> std::process::ExitCode {
     let sim = whole_sim(spokes, sim_secs);
     let scale = large_topology(cells, devs_per_cell, scale_secs);
     let checkpoint = checkpoint_gauge(cells, devs_per_cell, scale_secs, reps);
+    let fork = fork_gauge(cells, devs_per_cell, scale_secs, 8);
 
     let out = djson::Json::obj([
         ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
@@ -523,6 +612,7 @@ fn main() -> std::process::ExitCode {
         ("whole_sim", sim),
         ("large_topology", scale),
         ("checkpoint", checkpoint),
+        ("fork", fork),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -542,6 +632,10 @@ mod tests {
     use super::*;
 
     fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64) -> djson::Json {
+        snapshot_with_fork(eq, sat, sim, scale, ck, 10.0)
+    }
+
+    fn snapshot_with_fork(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64, fk: f64) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
         let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
         djson::Json::obj([
@@ -550,6 +644,7 @@ mod tests {
             ("whole_sim", pps(sim)),
             ("large_topology", pps(scale)),
             ("checkpoint", djson::Json::obj([("snapshots_per_sec", djson::Json::F64(ck))])),
+            ("fork", djson::Json::obj([("branches_per_sec", djson::Json::F64(fk))])),
         ])
     }
 
@@ -583,6 +678,14 @@ mod tests {
     fn a_checkpoint_regression_fails_the_gate() {
         let base = snapshot(1e6, 2e6, 3e6, 4e6, 50.0);
         let cur = snapshot(1e6, 2e6, 3e6, 4e6, 30.0); // checkpoint -40%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed, "{lines:?}");
+    }
+
+    #[test]
+    fn a_fork_regression_fails_the_gate() {
+        let base = snapshot_with_fork(1e6, 2e6, 3e6, 4e6, 50.0, 10.0);
+        let cur = snapshot_with_fork(1e6, 2e6, 3e6, 4e6, 50.0, 6.0); // fork -40%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed, "{lines:?}");
     }

@@ -201,6 +201,17 @@ impl Application for ChurnController {
         "churn-controller"
     }
 
+    fn fork(&self, _map: &netsim::ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(ChurnController {
+            model: self.model,
+            mode: self.mode,
+            devices: self.devices.clone(),
+            events: self.events.clone(),
+            departures: self.departures,
+            rejoins: self.rejoins,
+        }))
+    }
+
     fn state_digest(&self, h: &mut netsim::StateHasher) {
         h.write_usize(self.devices.len());
         for d in &self.devices {

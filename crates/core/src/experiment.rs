@@ -9,11 +9,13 @@
 use crate::config::{Recruitment, SimulationBuilder, SimulationConfig};
 use crate::instance::Ddosim;
 use crate::result::RunResult;
+use crate::suffix::SuffixSpec;
 use churn::ChurnMode;
 use firmware::CommandSet;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Mutex, Once, PoisonError};
 use std::time::Duration;
 use tinyvm::{ProtectionMix, Protections};
 
@@ -29,12 +31,45 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+thread_local! {
+    static LAST_PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL_LOCATION_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that remembers the last
+/// panic's `file:line` for the panicking thread, chaining to the previous
+/// hook. [`catch_unwind`] only yields the payload; the location lives in
+/// the hook's `PanicHookInfo`, so without this a worker panic reports
+/// *what* fired but not *where*.
+fn install_location_hook() {
+    INSTALL_LOCATION_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let loc = info
+                .location()
+                .map(|l| format!("{}:{}", l.file(), l.line()));
+            LAST_PANIC_LOCATION.with(|c| *c.borrow_mut() = loc);
+            prev(info);
+        }));
+    });
+}
+
+/// Takes (and clears) the location of the current thread's last panic.
+fn take_panic_location() -> String {
+    LAST_PANIC_LOCATION
+        .with(|c| c.borrow_mut().take())
+        .map(|l| format!(" at {l}"))
+        .unwrap_or_default()
+}
+
 /// Runs each configuration (in parallel across available threads) and
 /// returns per-run outcomes in input order: `Ok(result)` for runs that
 /// completed, `Err(message)` for configurations that were invalid or
 /// panicked mid-run. One bad point in a sweep costs that row, not the
 /// hours of completed rows around it.
 pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, String>> {
+    install_location_hook();
     let n = configs.len();
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -61,13 +96,124 @@ pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, 
                     })) {
                         Ok(Ok(result)) => Ok(result),
                         Ok(Err(msg)) => Err(format!("configuration {i} invalid: {msg}")),
-                        Err(payload) => {
-                            Err(format!("run {i} panicked: {}", panic_message(&*payload)))
-                        }
+                        Err(payload) => Err(format!(
+                            "run {i} panicked{}: {}",
+                            take_panic_location(),
+                            panic_message(&*payload)
+                        )),
                     };
                 // Poison recovery: a panic between lock() and the store on
                 // some other thread (e.g. in an allocator hook) still
                 // leaves the Vec structurally intact.
+                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("every index was produced"))
+        .collect()
+}
+
+/// A forked [`Ddosim`] crossing a thread boundary.
+///
+/// SAFETY: `Ddosim::fork` deep-clones the whole world — every `Rc` in the
+/// fork's object graph (containers, TCP state, telemetry collectors) is
+/// freshly allocated and reachable only through this fork, so moving the
+/// world to another thread moves *all* owners of each `Rc` together.
+/// `Arc`-shared content (firmware images, served files, propagation
+/// target lists) is plain immutable data.
+struct SendWorld(Ddosim);
+unsafe impl Send for SendWorld {}
+
+/// One completed scenario-tree branch: the run's result plus — when the
+/// world records — the fork's full flight-recorder trace. The trace
+/// includes the shared prefix (a fork inherits the parent's recorder
+/// contents and sequence counter), so diffing it against a
+/// straight-through run's trace proves fork equivalence byte for byte.
+#[derive(Debug)]
+pub struct SuffixOutcome {
+    /// The branch's run result.
+    pub result: RunResult,
+    /// The branch's flight-recorder document, if recording was enabled.
+    pub trace: Option<djson::Json>,
+}
+
+/// Fans a scenario tree's suffixes out across the worker pool: forks
+/// `parent` once per suffix (decorrelated by each suffix's fork seed),
+/// applies the suffix's divergence, and runs every fork to completion.
+/// Outcomes come back in input order, one per suffix — `Err` rows carry
+/// the fork/apply/run failure without costing the rows around them.
+///
+/// The parent must already stand at the fork point (run it there with
+/// [`Ddosim::run_prefix`]); it is only read, never advanced, so the
+/// caller can fork it again for another round.
+pub fn run_suffixes(parent: &Ddosim, suffixes: &[SuffixSpec]) -> Vec<Result<RunResult, String>> {
+    run_suffixes_traced(parent, suffixes)
+        .into_iter()
+        .map(|row| row.map(|o| o.result))
+        .collect()
+}
+
+/// [`run_suffixes`], but each successful row also carries the fork's
+/// flight-recorder trace (see [`SuffixOutcome`]).
+pub fn run_suffixes_traced(
+    parent: &Ddosim,
+    suffixes: &[SuffixSpec],
+) -> Vec<Result<SuffixOutcome, String>> {
+    install_location_hook();
+    // Fork on this thread (forks are cheap next to running them), then
+    // hand each disjoint world to the pool.
+    let worlds: Vec<Result<SendWorld, String>> = suffixes
+        .iter()
+        .map(|spec| {
+            let mut world = parent.fork_with_seed(spec.fork_seed)?;
+            world.apply_suffix(spec)?;
+            Ok(SendWorld(world))
+        })
+        .collect();
+    let n = worlds.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<SendWorld, String>>>> =
+        Mutex::new(worlds.into_iter().map(Some).collect());
+    let results: Mutex<Vec<Option<Result<SuffixOutcome, String>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let world = slots.lock().unwrap_or_else(PoisonError::into_inner)[i]
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let outcome = match world {
+                    Err(msg) => Err(format!("suffix {i} invalid: {msg}")),
+                    Ok(SendWorld(w)) => {
+                        // The handle shares the fork's collectors, so it
+                        // stays readable after the run consumes the world.
+                        let tele = w.telemetry().clone();
+                        match catch_unwind(AssertUnwindSafe(|| w.try_run_to_completion())) {
+                            Ok(Ok((result, _))) => Ok(SuffixOutcome {
+                                result,
+                                trace: tele.recorder_json(),
+                            }),
+                            Ok(Err(msg)) => Err(format!("suffix {i} failed: {msg}")),
+                            Err(payload) => Err(format!(
+                                "suffix {i} panicked{}: {}",
+                                take_panic_location(),
+                                panic_message(&*payload)
+                            )),
+                        }
+                    }
+                };
                 results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
             });
         }
@@ -512,5 +658,111 @@ mod tests {
             .expect_err("run_configs must propagate the failure");
         let msg = panic_message(&*panic);
         assert!(msg.contains("1 of 2 runs"), "got: {msg}");
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        assert!(try_run_configs(Vec::new()).is_empty());
+        assert!(run_configs(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn single_config_sweep_matches_direct_run() {
+        let direct = Ddosim::new(small(3, 5)).expect("valid").run_to_completion();
+        let swept = try_run_configs(vec![small(3, 5)]);
+        assert_eq!(swept.len(), 1);
+        let r = swept[0].as_ref().expect("run completes");
+        assert_eq!(r.packets_sent, direct.packets_sent);
+        assert_eq!(
+            r.avg_received_data_rate_kbps,
+            direct.avg_received_data_rate_kbps
+        );
+    }
+
+    #[test]
+    fn many_more_configs_than_threads_all_complete_in_order() {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let n = threads * 3 + 1;
+        let configs: Vec<SimulationConfig> = (0..n).map(|i| small(2, i as u64)).collect();
+        let outcomes = try_run_configs(configs);
+        assert_eq!(outcomes.len(), n);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let r = outcome.as_ref().unwrap_or_else(|e| panic!("row {i}: {e}"));
+            assert_eq!(r.seed, i as u64, "row {i} out of input order");
+        }
+    }
+
+    #[test]
+    fn poisoned_row_panic_reports_location_and_other_rows_complete() {
+        // tserver_link_bps = 0 passes validation but panics mid-run (the
+        // zero-rate tx_delay) once attack traffic reaches the TServer
+        // link — a worker *panic*, not an Err. It must cost only its own
+        // row, rows on both sides still complete in input order, and the
+        // failure string must carry the panic's file:line.
+        let poisoned = SimulationConfig {
+            tserver_link_bps: 0,
+            ..small(2, 1)
+        };
+        let outcomes = try_run_configs(vec![small(2, 1), poisoned, small(3, 2)]);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].as_ref().map(|r| r.devs), Ok(2));
+        assert_eq!(outcomes[2].as_ref().map(|r| r.devs), Ok(3));
+        let err = outcomes[1].as_ref().expect_err("zero-rate link must panic");
+        assert!(err.contains("run 1 panicked"), "got: {err}");
+        assert!(err.contains(".rs:"), "panic location missing from: {err}");
+    }
+
+    #[test]
+    fn panic_location_slot_is_consumed_per_thread() {
+        install_location_hook();
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> u32 { panic!("boom") }));
+        assert!(outcome.is_err());
+        let loc = take_panic_location();
+        assert!(
+            loc.contains("experiment.rs"),
+            "location hook must capture this file, got: '{loc}'"
+        );
+        assert_eq!(take_panic_location(), "", "slot must clear after take");
+    }
+
+    #[test]
+    fn run_suffixes_empty_and_identity() {
+        let mut parent = Ddosim::new(small(3, 11)).expect("valid");
+        parent.run_prefix(Duration::from_secs(20)).expect("prefix runs");
+        assert!(run_suffixes(&parent, &[]).is_empty());
+        let straight = Ddosim::new(small(3, 11)).expect("valid").run_to_completion();
+        let rows = run_suffixes(
+            &parent,
+            &[
+                crate::suffix::SuffixSpec::identity("a"),
+                crate::suffix::SuffixSpec::identity("b"),
+            ],
+        );
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let r = row.as_ref().expect("identity suffix completes");
+            assert_eq!(r.packets_sent, straight.packets_sent);
+            assert_eq!(r.flood_packets_received, straight.flood_packets_received);
+        }
+    }
+
+    #[test]
+    fn run_suffixes_bad_horizon_costs_only_its_row() {
+        let mut parent = Ddosim::new(small(3, 11)).expect("valid");
+        parent.run_prefix(Duration::from_secs(20)).expect("prefix runs");
+        let bad = crate::suffix::SuffixSpec {
+            horizon: Some(Duration::from_secs(1)),
+            ..crate::suffix::SuffixSpec::identity("bad")
+        };
+        let rows = run_suffixes(
+            &parent,
+            &[crate::suffix::SuffixSpec::identity("ok"), bad],
+        );
+        assert!(rows[0].is_ok());
+        let err = rows[1].as_ref().expect_err("horizon before attack end");
+        assert!(err.contains("suffix 1 invalid"), "got: {err}");
+        assert!(err.contains("horizon"), "got: {err}");
     }
 }

@@ -13,8 +13,8 @@ use malware::{AdminConsole, CncServer, TelnetScanner, TelnetService};
 use crate::config::TopologyKind;
 use netsim::topology::{StarMember, StarTopology, TieredTopology, WifiTopology};
 use netsim::{
-    AppId, Category, LinkConfig, NodeId, SimTime, Simulator, Telemetry, TraceKind, TraceRecord,
-    WifiConfig,
+    AppId, Category, ForkClone, ForkMap, LinkConfig, LinkId, NodeId, SimTime, Simulator,
+    Telemetry, TraceKind, TraceRecord, WifiConfig,
 };
 use telemetry::CaptureRecord;
 use protocols::{mirai_dictionary, Credential, DNS_PORT};
@@ -32,6 +32,12 @@ pub const DEV_IMAGE_BASE_BYTES: u64 = 6_500_000;
 
 /// Image bytes of the Attacker container (C&C, Apache, exploit tooling).
 pub const ATTACKER_IMAGE_BYTES: u64 = 60_000_000;
+
+// Per-subsystem layer tags folded into a fork's re-derived RNG seeds
+// (`sim_seed ^ fork_seed ^ TAG`): distinct tags keep the event-time and
+// fault streams decorrelated from each other and from the parent.
+const FORK_TAG_MAIN: u64 = 0xF0_8C01;
+const FORK_TAG_FAULT: u64 = 0xF0_8C02;
 
 /// One Dev's identity and configuration within a run.
 #[derive(Debug, Clone)]
@@ -74,15 +80,29 @@ fn capture_record(rec: &TraceRecord) -> CaptureRecord {
     }
 }
 
-/// State threaded through the self-rescheduling metrics sampler.
+/// State threaded through the self-rescheduling metrics sampler. The
+/// telemetry handle is read off the simulator at each tick (not stored
+/// here) so a forked world samples into *its* recorder, not the parent's.
 struct SamplerState {
-    telemetry: Telemetry,
     interval: Duration,
     horizon: SimTime,
     tserver: NodeId,
     devs: Vec<ContainerHandle>,
     prev_sent: u64,
     prev_rx_bytes: u64,
+}
+
+impl ForkClone for SamplerState {
+    fn fork_clone(&self, map: &ForkMap) -> Self {
+        SamplerState {
+            interval: self.interval,
+            horizon: self.horizon,
+            tserver: self.tserver,
+            devs: self.devs.fork_clone(map),
+            prev_sent: self.prev_sent,
+            prev_rx_bytes: self.prev_rx_bytes,
+        }
+    }
 }
 
 /// One metrics sample: fixed-interval bins of per-run rates and gauges
@@ -94,7 +114,7 @@ fn sample_tick(sim: &mut Simulator, mut st: SamplerState) {
     let tserver_queue = sim.node_link_buffered_bytes(st.tserver);
     let bots = st.devs.iter().filter(|c| c.bot_alive()).count();
     let infected = st.devs.iter().filter(|c| c.is_infected()).count();
-    st.telemetry.with_metrics(|set| {
+    sim.telemetry().with_metrics(|set| {
         set.series_mut("tx_packets").push((sent - st.prev_sent) as f64);
         set.series_mut("tserver_rx_bytes").push((rx_bytes - st.prev_rx_bytes) as f64);
         set.series_mut("buffered_bytes").push(buffered as f64);
@@ -106,7 +126,7 @@ fn sample_tick(sim: &mut Simulator, mut st: SamplerState) {
     st.prev_rx_bytes = rx_bytes;
     if sim.now() + st.interval <= st.horizon {
         let iv = st.interval;
-        sim.schedule_call_after(iv, move |sim| sample_tick(sim, st));
+        sim.schedule_forkable_call_after(iv, "metrics.sample", st, sample_tick);
     }
 }
 
@@ -117,8 +137,92 @@ fn record_fault(sim: &Simulator, node: NodeId, detail: String) {
         .record_event(now, Some(node.index() as u32), Category::Fault, || detail);
 }
 
+// Fault-plan handlers: plain `fn` pointers over ForkClone data (instead of
+// opaque closures) so pending faults survive `Ddosim::fork`.
+
+fn fault_link_admin(sim: &mut Simulator, data: (NodeId, Vec<LinkId>, bool, String)) {
+    let (node_id, links, up, detail) = data;
+    record_fault(sim, node_id, detail);
+    for link in links {
+        sim.set_link_admin(link, up);
+    }
+}
+
+fn fault_link_loss(sim: &mut Simulator, data: (NodeId, Vec<LinkId>, f64, String)) {
+    let (node_id, links, p, detail) = data;
+    record_fault(sim, node_id, detail);
+    for link in links {
+        sim.set_link_loss(link, p);
+    }
+}
+
+fn fault_node_crash(sim: &mut Simulator, data: (NodeId, Option<ContainerHandle>, String)) {
+    let (node_id, container, detail) = data;
+    record_fault(sim, node_id, detail);
+    // Power off first: a hard crash is silent on the wire, so the node
+    // must be down (stack reset) before app removal, or removal would FIN
+    // the bot's C&C connection like a graceful exit.
+    sim.set_node_admin(node_id, false);
+    if let Some(c) = &container {
+        for app in c.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
+            sim.remove_app(app);
+        }
+    }
+}
+
+fn fault_node_restore(sim: &mut Simulator, data: (NodeId, String)) {
+    let (node_id, detail) = data;
+    record_fault(sim, node_id, detail);
+    sim.set_node_admin(node_id, true);
+}
+
+fn fault_cnc_outage(sim: &mut Simulator, data: (NodeId, Option<Duration>, String)) {
+    let (node_id, duration, detail) = data;
+    record_fault(sim, node_id, detail);
+    sim.set_node_admin(node_id, false);
+    if let Some(d) = duration {
+        sim.schedule_forkable_call_after(d, "fault.cnc_outage_end", node_id, fault_cnc_outage_end);
+    }
+}
+
+fn fault_cnc_outage_end(sim: &mut Simulator, node_id: NodeId) {
+    record_fault(
+        sim,
+        node_id,
+        "cnc_outage ended (attacker host restarts)".to_owned(),
+    );
+    sim.set_node_admin(node_id, true);
+}
+
+fn fault_container_kill(sim: &mut Simulator, data: (NodeId, ContainerHandle, String)) {
+    let (node_id, container, detail) = data;
+    record_fault(sim, node_id, detail);
+    for app in container.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
+        sim.remove_app(app);
+    }
+}
+
+/// The attacker-operator reconciliation tick: devices whose bot is gone
+/// get their "exploited" marks cleared so the exploit exchange restarts.
+fn reconcile_tick(
+    sim: &mut Simulator,
+    data: (AppId, AppId, Vec<(ContainerHandle, IpAddr, IpAddr)>),
+) {
+    let (dns, dhcp, devs) = data;
+    for (container, v4, v6) in &devs {
+        if !container.bot_alive() {
+            if let Some(srv) = sim.app_mut::<MaliciousDnsServer>(dns) {
+                srv.forget(*v4);
+            }
+            if let Some(inj) = sim.app_mut::<Dhcpv6Injector>(dhcp) {
+                inj.forget(*v6);
+            }
+        }
+    }
+}
+
 /// The simulated-Internet fabric a run was built on.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Fabric {
     Star(StarTopology),
     Tiered(TieredTopology),
@@ -162,6 +266,39 @@ impl Fabric {
     }
 }
 
+/// Snapshot taken when the run crosses the attack start (Table I's
+/// pre-attack column and the §IV-B infection counters).
+#[derive(Debug, Clone, Copy)]
+struct PreAttackSnapshot {
+    container_bytes: u64,
+    packets: u64,
+    infected: usize,
+    bots: usize,
+}
+
+/// Snapshot taken when the run crosses the attack end.
+#[derive(Debug, Clone, Copy)]
+struct AttackSnapshot {
+    container_bytes: u64,
+    /// Packets sent during the attack window.
+    packets: u64,
+}
+
+/// Resumable phase-walk bookkeeping: which phase boundaries have been
+/// crossed (marks emitted, measurements taken). `Copy`, so a fork carries
+/// its parent's progress and the continuation emits exactly the marks a
+/// straight-through run would — no double marks, none missing.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseProgress {
+    init_marked: bool,
+    pre_attack: Option<PreAttackSnapshot>,
+    attack: Option<AttackSnapshot>,
+    /// Wall-clock accumulated inside the attack window (split across
+    /// prefix and suffix when a fork lands mid-window).
+    attack_wall: Duration,
+    complete: bool,
+}
+
 /// A fully-assembled DDoSim instance (Attacker + Devs + TServer on the
 /// simulated network), ready to run.
 #[derive(Debug)]
@@ -172,6 +309,7 @@ pub struct Ddosim {
     devs: Vec<DevInfo>,
     attacker_node: NodeId,
     attacker_v4: IpAddr,
+    attacker_container: ContainerHandle,
     tserver_node: NodeId,
     tserver_v4: IpAddr,
     sink: AppId,
@@ -185,6 +323,7 @@ pub struct Ddosim {
     checkpoint_at: Option<Duration>,
     resume: Option<Checkpoint>,
     saved_checkpoint: Option<Checkpoint>,
+    progress: PhaseProgress,
 }
 
 impl Ddosim {
@@ -538,7 +677,6 @@ impl Ddosim {
         // simply stay queued past `run_until`, costing nothing.
         if let Some(iv) = config.telemetry.metrics_interval {
             let st = SamplerState {
-                telemetry: telemetry.clone(),
                 interval: iv,
                 horizon: SimTime::ZERO + config.sim_time,
                 tserver: tserver_node,
@@ -546,123 +684,7 @@ impl Ddosim {
                 prev_sent: 0,
                 prev_rx_bytes: 0,
             };
-            sim.schedule_call(SimTime::ZERO + iv, move |sim| sample_tick(sim, st));
-        }
-
-        // ---- Fault plan ----
-        // Targets resolve here (names → nodes/links/containers) so a bad
-        // plan fails the build, not the run; the faults themselves go on
-        // the event queue and interleave deterministically with everything
-        // else. An empty plan schedules nothing and never reaches the
-        // reseed, so every RNG stream matches a plan-free run.
-        if !config.faults.is_empty() {
-            sim.reseed_fault_rng(config.seed ^ config.faults.seed ^ 0xFA17);
-            let resolve = |name: &str| -> Result<(NodeId, Option<ContainerHandle>), String> {
-                if name == "attacker" {
-                    return Ok((attacker_node, Some(attacker_container.clone())));
-                }
-                if name == "tserver" {
-                    return Ok((tserver_node, None));
-                }
-                name.strip_prefix("dev-")
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .and_then(|i| devs.get(i))
-                    .map(|d| (d.node, Some(d.container.clone())))
-                    .ok_or_else(|| format!("fault plan targets unknown node '{name}'"))
-            };
-            let access_links = |sim: &Simulator, name: &str, node| -> Result<Vec<_>, String> {
-                let links = sim.node_p2p_links(node);
-                if links.is_empty() {
-                    return Err(format!(
-                        "fault plan: node '{name}' has no point-to-point links"
-                    ));
-                }
-                Ok(links)
-            };
-            for fault in &config.faults.faults {
-                let at = SimTime::ZERO + fault.at;
-                let detail = fault.describe();
-                match &fault.kind {
-                    faults::FaultKind::LinkDown { node }
-                    | faults::FaultKind::LinkUp { node } => {
-                        let up = matches!(fault.kind, faults::FaultKind::LinkUp { .. });
-                        let (node_id, _) = resolve(node)?;
-                        let links = access_links(&sim, node, node_id)?;
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            for link in links {
-                                sim.set_link_admin(link, up);
-                            }
-                        });
-                    }
-                    faults::FaultKind::LinkLoss { node, probability } => {
-                        let p = *probability;
-                        let (node_id, _) = resolve(node)?;
-                        let links = access_links(&sim, node, node_id)?;
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            for link in links {
-                                sim.set_link_loss(link, p);
-                            }
-                        });
-                    }
-                    faults::FaultKind::NodeCrash { node } => {
-                        let (node_id, container) = resolve(node)?;
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            // Power off first: a hard crash is silent on the
-                            // wire, so the node must be down (stack reset)
-                            // before app removal, or removal would FIN the
-                            // bot's C&C connection like a graceful exit.
-                            sim.set_node_admin(node_id, false);
-                            if let Some(c) = &container {
-                                for app in c.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
-                                    sim.remove_app(app);
-                                }
-                            }
-                        });
-                    }
-                    faults::FaultKind::NodeRestore { node } => {
-                        let (node_id, _) = resolve(node)?;
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            sim.set_node_admin(node_id, true);
-                        });
-                    }
-                    faults::FaultKind::CncOutage { duration } => {
-                        let node_id = attacker_node;
-                        let duration = *duration;
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            sim.set_node_admin(node_id, false);
-                            if let Some(d) = duration {
-                                sim.schedule_call_after(d, move |sim| {
-                                    record_fault(
-                                        sim,
-                                        node_id,
-                                        "cnc_outage ended (attacker host restarts)".to_owned(),
-                                    );
-                                    sim.set_node_admin(node_id, true);
-                                });
-                            }
-                        });
-                    }
-                    faults::FaultKind::ContainerKill { node } => {
-                        let (node_id, container) = resolve(node)?;
-                        let Some(container) = container else {
-                            return Err(format!(
-                                "fault plan: container_kill targets '{node}', which has no container"
-                            ));
-                        };
-                        sim.schedule_call(at, move |sim| {
-                            record_fault(sim, node_id, detail);
-                            for app in container.reboot(sim.now(), &crate::reboot::DAEMON_NAMES) {
-                                sim.remove_app(app);
-                            }
-                        });
-                    }
-                }
-            }
+            sim.schedule_forkable_call(SimTime::ZERO + iv, "metrics.sample", st, sample_tick);
         }
 
         let mut instance = Ddosim {
@@ -672,6 +694,7 @@ impl Ddosim {
             devs,
             attacker_node,
             attacker_v4: attacker_m.addr_v4,
+            attacker_container,
             tserver_node,
             tserver_v4: tserver_m.addr_v4,
             sink,
@@ -685,9 +708,130 @@ impl Ddosim {
             checkpoint_at: None,
             resume: None,
             saved_checkpoint: None,
+            progress: PhaseProgress::default(),
         };
+        // ---- Fault plan ----
+        // An empty plan schedules nothing and never reaches the reseed, so
+        // every RNG stream matches a plan-free run.
+        if !instance.config.faults.is_empty() {
+            instance.sim.reseed_fault_rng(
+                instance.config.seed ^ instance.config.faults.seed ^ 0xFA17,
+            );
+            let plan = instance.config.faults.clone();
+            instance.schedule_fault_plan(&plan)?;
+        }
         instance.schedule_reconciler();
         Ok(instance)
+    }
+
+    /// Resolves a fault-plan target name to its node and container.
+    fn resolve_fault_target(
+        &self,
+        name: &str,
+    ) -> Result<(NodeId, Option<ContainerHandle>), String> {
+        if name == "attacker" {
+            return Ok((self.attacker_node, Some(self.attacker_container.clone())));
+        }
+        if name == "tserver" {
+            return Ok((self.tserver_node, None));
+        }
+        name.strip_prefix("dev-")
+            .and_then(|s| s.parse::<usize>().ok())
+            .and_then(|i| self.devs.get(i))
+            .map(|d| (d.node, Some(d.container.clone())))
+            .ok_or_else(|| format!("fault plan targets unknown node '{name}'"))
+    }
+
+    fn fault_access_links(&self, name: &str, node: NodeId) -> Result<Vec<LinkId>, String> {
+        let links = self.sim.node_p2p_links(node);
+        if links.is_empty() {
+            return Err(format!(
+                "fault plan: node '{name}' has no point-to-point links"
+            ));
+        }
+        Ok(links)
+    }
+
+    /// Schedules every fault of `plan` onto the event queue. Targets
+    /// resolve here (names → nodes/links/containers) so a bad plan fails
+    /// up front, not mid-run; the faults themselves interleave
+    /// deterministically with everything else. Faults are scheduled as
+    /// forkable calls, so pending ones survive [`Ddosim::fork`] — and a
+    /// *suffix* fault plan can be layered onto a fork the same way
+    /// (entries dated before the fork point fire immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unresolvable target.
+    pub fn schedule_fault_plan(&mut self, plan: &faults::FaultPlan) -> Result<(), String> {
+        for fault in &plan.faults {
+            let at = SimTime::ZERO + fault.at;
+            let detail = fault.describe();
+            match &fault.kind {
+                faults::FaultKind::LinkDown { node } | faults::FaultKind::LinkUp { node } => {
+                    let up = matches!(fault.kind, faults::FaultKind::LinkUp { .. });
+                    let (node_id, _) = self.resolve_fault_target(node)?;
+                    let links = self.fault_access_links(node, node_id)?;
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.link_admin",
+                        (node_id, links, up, detail),
+                        fault_link_admin,
+                    );
+                }
+                faults::FaultKind::LinkLoss { node, probability } => {
+                    let (node_id, _) = self.resolve_fault_target(node)?;
+                    let links = self.fault_access_links(node, node_id)?;
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.link_loss",
+                        (node_id, links, *probability, detail),
+                        fault_link_loss,
+                    );
+                }
+                faults::FaultKind::NodeCrash { node } => {
+                    let (node_id, container) = self.resolve_fault_target(node)?;
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.node_crash",
+                        (node_id, container, detail),
+                        fault_node_crash,
+                    );
+                }
+                faults::FaultKind::NodeRestore { node } => {
+                    let (node_id, _) = self.resolve_fault_target(node)?;
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.node_restore",
+                        (node_id, detail),
+                        fault_node_restore,
+                    );
+                }
+                faults::FaultKind::CncOutage { duration } => {
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.cnc_outage",
+                        (self.attacker_node, *duration, detail),
+                        fault_cnc_outage,
+                    );
+                }
+                faults::FaultKind::ContainerKill { node } => {
+                    let (node_id, container) = self.resolve_fault_target(node)?;
+                    let Some(container) = container else {
+                        return Err(format!(
+                            "fault plan: container_kill targets '{node}', which has no container"
+                        ));
+                    };
+                    self.sim.schedule_forkable_call(
+                        at,
+                        "fault.container_kill",
+                        (node_id, container, detail),
+                        fault_container_kill,
+                    );
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Attaches an extra node to the simulated Internet (e.g. a benign
@@ -727,19 +871,12 @@ impl Ddosim {
         };
         let mut t = Duration::from_secs(10);
         while t < horizon {
-            let devs = devs.clone();
-            self.sim.schedule_call(SimTime::ZERO + t, move |sim| {
-                for (container, v4, v6) in &devs {
-                    if !container.bot_alive() {
-                        if let Some(srv) = sim.app_mut::<MaliciousDnsServer>(dns) {
-                            srv.forget(*v4);
-                        }
-                        if let Some(inj) = sim.app_mut::<Dhcpv6Injector>(dhcp) {
-                            inj.forget(*v6);
-                        }
-                    }
-                }
-            });
+            self.sim.schedule_forkable_call(
+                SimTime::ZERO + t,
+                "attacker.reconcile",
+                (dns, dhcp, devs.clone()),
+                reconcile_tick,
+            );
             t += Duration::from_secs(10);
         }
     }
@@ -922,32 +1059,8 @@ impl Ddosim {
     /// Returns a message if resume verification fails or the
     /// checkpoint/resume marks are inconsistent.
     pub fn try_run_to_completion(mut self) -> Result<(RunResult, Option<Checkpoint>), String> {
-        let attack_start = self.config.attack_at;
-        let attack_end = attack_start + self.config.attack.duration;
         let sim_end = self.config.sim_time;
-
-        // Phase 1: initialization + infection.
-        self.mark_phase("phase: initialization + infection");
-        self.advance(attack_start)?;
-        let pre_attack_container_bytes = self.runtime.total_memory_bytes();
-        let pre_attack_packets = self.sim.stats().packets_sent;
-        let infected_before_attack = self.infected_count();
-        let bots_at_command = self.connected_bots();
-
-        // Phase 2: the attack window (wall-clock measured — Table I's
-        // Attack Time).
-        self.mark_phase("phase: attack window");
-        let wall = Instant::now();
-        self.advance(attack_end)?;
-        let attack_wall_clock = wall.elapsed();
-        let attack_packets = self.sim.stats().packets_sent - pre_attack_packets;
-        let attack_container_bytes = self.runtime.total_memory_bytes();
-
-        // Phase 3: drain to the horizon.
-        self.mark_phase("phase: drain");
-        self.advance(sim_end)?;
-        self.mark_phase("phase: run complete");
-
+        self.advance_phases(sim_end)?;
         if let Some(cp) = &self.resume {
             return Err(format!(
                 "resume point {:.3}s lies beyond the simulation horizon \
@@ -965,15 +1078,255 @@ impl Ddosim {
             ));
         }
         let saved = self.saved_checkpoint.take();
+        let pre = self
+            .progress
+            .pre_attack
+            .expect("validation puts the attack inside the horizon");
+        let attack = self
+            .progress
+            .attack
+            .expect("validation puts the attack inside the horizon");
+        let wall = self.progress.attack_wall;
         let result = self.collect(
-            pre_attack_container_bytes,
-            attack_container_bytes,
-            attack_packets,
-            attack_wall_clock,
-            infected_before_attack,
-            bots_at_command,
+            pre.container_bytes,
+            attack.container_bytes,
+            attack.packets,
+            wall,
+            pre.infected,
+            pre.bots,
         );
         Ok((result, saved))
+    }
+
+    /// Runs the scenario prefix up to `upto` of simulated time, emitting
+    /// phase marks and taking phase measurements for every boundary
+    /// crossed — the shared 0→T prefix of a checkpoint-forked scenario
+    /// tree. Fork the instance here ([`Ddosim::fork_with_seed`]) and run
+    /// each fork to completion; a seed-0 fork's trace is byte-identical to
+    /// running this world straight through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if an armed resume/checkpoint inside the window
+    /// fails (see [`Ddosim::try_run_to_completion`]).
+    pub fn run_prefix(&mut self, upto: Duration) -> Result<(), String> {
+        self.advance_phases(upto)
+    }
+
+    /// The resumable phase walk: advances to `upto`, crossing (at most
+    /// once, in order) the attack-start, attack-end, and horizon
+    /// boundaries, each with its phase mark and measurements. Progress
+    /// lives in [`PhaseProgress`], so the walk can stop anywhere and be
+    /// continued — by this instance or by a fork of it.
+    fn advance_phases(&mut self, upto: Duration) -> Result<(), String> {
+        let attack_start = self.config.attack_at;
+        let attack_end = attack_start + self.config.attack.duration;
+        let sim_end = self.config.sim_time;
+        let upto = upto.min(sim_end);
+        if !self.progress.init_marked {
+            self.mark_phase("phase: initialization + infection");
+            self.progress.init_marked = true;
+        }
+        if self.progress.pre_attack.is_none() {
+            if upto < attack_start {
+                return self.advance(upto);
+            }
+            self.advance(attack_start)?;
+            self.progress.pre_attack = Some(PreAttackSnapshot {
+                container_bytes: self.runtime.total_memory_bytes(),
+                packets: self.sim.stats().packets_sent,
+                infected: self.infected_count(),
+                bots: self.connected_bots(),
+            });
+            self.mark_phase("phase: attack window");
+        }
+        if self.progress.attack.is_none() {
+            // The attack window's wall-clock (Table I's Attack Time)
+            // accumulates across partial advances.
+            let wall = Instant::now();
+            self.advance(upto.min(attack_end))?;
+            self.progress.attack_wall += wall.elapsed();
+            if upto < attack_end {
+                return Ok(());
+            }
+            let pre = self.progress.pre_attack.expect("set above");
+            self.progress.attack = Some(AttackSnapshot {
+                container_bytes: self.runtime.total_memory_bytes(),
+                packets: self.sim.stats().packets_sent - pre.packets,
+            });
+            self.mark_phase("phase: drain");
+        }
+        self.advance(upto)?;
+        if upto >= sim_end && !self.progress.complete {
+            self.mark_phase("phase: run complete");
+            self.progress.complete = true;
+        }
+        Ok(())
+    }
+
+    /// Forks the live world without any divergence: every RNG stream keeps
+    /// its exact position, so the fork's future is byte-identical to the
+    /// parent's. Shorthand for [`Ddosim::fork_with_seed`] with seed 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ddosim::fork_with_seed`].
+    pub fn fork(&self) -> Result<Ddosim, String> {
+        self.fork_with_seed(0)
+    }
+
+    /// Deep-clones the live world into an independent instance — the
+    /// in-memory fork behind checkpoint-forked scenario trees. Nothing is
+    /// replayed: containers, the network world (pending events included),
+    /// and telemetry (the flight recorder carries the shared prefix) are
+    /// all duplicated at the current instant, and every layer digest is
+    /// verified equal to the parent's before any divergence is applied.
+    ///
+    /// `fork_seed` selects the divergence point: 0 keeps both RNG streams
+    /// at their exact positions (the fork replays the parent's future,
+    /// byte for byte), while any other value re-derives the per-subsystem
+    /// streams as `sim_seed ^ fork_seed ^ LAYER_TAG`, so K forks
+    /// decorrelate deterministically — same `(world, T, fork_seed)` →
+    /// same suffix, different `fork_seed` → independent futures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the world holds unforkable state (a deployed
+    /// ingress filter, a pending opaque [`Simulator::schedule_call`]), when
+    /// this run still has an unreached resume point (fork after the
+    /// splice), or when the fork's digests diverge from the parent's (a
+    /// bug in some layer's fork path).
+    pub fn fork_with_seed(&self, fork_seed: u64) -> Result<Ddosim, String> {
+        if self.resume.is_some() {
+            return Err(
+                "cannot fork a resumed run before its resume point: the \
+                 suppressed replay prefix has no recorder state to share; \
+                 run past the resume point first"
+                    .into(),
+            );
+        }
+        let mut map = ForkMap::new();
+        let runtime = self.runtime.fork(&mut map);
+        let mut sim = self.sim.fork(&map)?;
+        let telemetry = self.sim.telemetry().deep_fork();
+        sim.set_telemetry(telemetry.clone());
+        if telemetry.captures_packets() {
+            let hook = telemetry.clone();
+            sim.set_trace(Box::new(move |rec: &TraceRecord| {
+                hook.capture_packet(|| capture_record(rec));
+            }));
+        }
+        let devs: Vec<DevInfo> = self
+            .devs
+            .iter()
+            .map(|d| DevInfo {
+                node: d.node,
+                addr_v4: d.addr_v4,
+                addr_v6: d.addr_v6,
+                daemon: d.daemon,
+                protections: d.protections,
+                access_rate_kbps: d.access_rate_kbps,
+                container: d.container.fork_clone(&map),
+                daemon_app: d.daemon_app,
+            })
+            .collect();
+        let mut fork = Ddosim {
+            config: self.config.clone(),
+            sim,
+            runtime,
+            devs,
+            attacker_node: self.attacker_node,
+            attacker_v4: self.attacker_v4,
+            attacker_container: self.attacker_container.fork_clone(&map),
+            tserver_node: self.tserver_node,
+            tserver_v4: self.tserver_v4,
+            sink: self.sink,
+            cnc: self.cnc,
+            dns_server: self.dns_server,
+            dhcp_injector: self.dhcp_injector,
+            scanner: self.scanner,
+            churn_ctl: self.churn_ctl,
+            memory_model: self.memory_model,
+            fabric: self.fabric.clone(),
+            checkpoint_at: self.checkpoint_at,
+            resume: None,
+            saved_checkpoint: None,
+            progress: self.progress,
+        };
+        // fork ≡ parent at T, layer by layer, before any reseed diverges
+        // the streams.
+        let parent = self.state_digests();
+        let child = fork.state_digests();
+        for ((layer, p), (_, c)) in parent.iter().zip(child.iter()) {
+            if p != c {
+                return Err(format!(
+                    "fork diverged from its parent in layer '{layer}' at \
+                     {:.3}s: digest {c:#018x} != parent {p:#018x}",
+                    self.sim.now().as_secs_f64()
+                ));
+            }
+        }
+        if fork_seed != 0 {
+            fork.sim
+                .reseed_rng(self.config.seed ^ fork_seed ^ FORK_TAG_MAIN);
+            fork.sim
+                .reseed_fault_rng(self.config.seed ^ fork_seed ^ FORK_TAG_FAULT);
+        }
+        Ok(fork)
+    }
+
+    /// Applies one scenario-tree suffix to this (freshly forked) world:
+    /// extends or trims the horizon, layers the suffix's fault plan onto
+    /// the queue, and opens a fresh attacker-console session for its extra
+    /// commands. The fork seed is *not* applied here — pass it to
+    /// [`Ddosim::fork_with_seed`], which reseeds before any suffix events
+    /// are scheduled.
+    ///
+    /// Metric sampling keeps the original horizon (the sampler chain was
+    /// scheduled at build time); the flight recorder and capture cover the
+    /// full extended run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the new horizon lies before the attack end
+    /// or the current instant, or when the fault plan names an unknown
+    /// target.
+    pub fn apply_suffix(&mut self, spec: &crate::suffix::SuffixSpec) -> Result<(), String> {
+        if let Some(h) = spec.horizon {
+            let attack_end = self.config.attack_at + self.config.attack.duration;
+            if h < attack_end {
+                return Err(format!(
+                    "suffix '{}': horizon {:.3}s lies before the attack end {:.3}s",
+                    spec.name,
+                    h.as_secs_f64(),
+                    attack_end.as_secs_f64()
+                ));
+            }
+            if SimTime::ZERO + h < self.sim.now() {
+                return Err(format!(
+                    "suffix '{}': horizon {:.3}s lies before the fork point {:.3}s",
+                    spec.name,
+                    h.as_secs_f64(),
+                    self.sim.now().as_secs_f64()
+                ));
+            }
+            self.config.sim_time = h;
+        }
+        if !spec.faults.is_empty() {
+            self.schedule_fault_plan(&spec.faults)?;
+        }
+        if !spec.admin_lines.is_empty() {
+            let schedule: Vec<(SimTime, String)> = spec
+                .admin_lines
+                .iter()
+                .map(|(at, line)| (SimTime::ZERO + *at, line.clone()))
+                .collect();
+            self.sim.install_app(
+                self.attacker_node,
+                Box::new(AdminConsole::new(self.attacker_v4, schedule)),
+            );
+        }
+        Ok(())
     }
 
     fn collect(

@@ -37,13 +37,14 @@ pub mod reboot;
 pub mod record;
 pub mod report;
 pub mod result;
+pub mod suffix;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use config::{
     AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, SimulationBuilder,
     SimulationConfig, TopologyKind,
 };
-pub use experiment::{run_configs, try_run_configs};
+pub use experiment::{run_configs, run_suffixes, run_suffixes_traced, try_run_configs, SuffixOutcome};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FAULT_PLAN_SCHEMA};
 pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};
 pub use metrics::{bytes_to_gb, MemoryModel, TServerSink};
@@ -51,3 +52,4 @@ pub use reboot::RebootController;
 pub use netsim::{Telemetry, TelemetryConfig};
 pub use record::{compare, load_results, save_results, Drift};
 pub use result::{ChurnSummary, RunResult};
+pub use suffix::{SuffixPlan, SuffixSpec, SUFFIX_SCHEMA};

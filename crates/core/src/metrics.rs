@@ -63,6 +63,17 @@ impl Application for TServerSink {
         "tserver-sink"
     }
 
+    fn fork(&self, _map: &netsim::ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(TServerSink {
+            per_second_bytes: self.per_second_bytes.clone(),
+            last_total: self.last_total,
+            flood_packets: self.flood_packets,
+            flood_bytes: self.flood_bytes,
+            first_flood_at: self.first_flood_at,
+            bound_port: self.bound_port,
+        }))
+    }
+
     fn state_digest(&self, h: &mut netsim::StateHasher) {
         h.write_usize(self.per_second_bytes.len());
         for b in &self.per_second_bytes {

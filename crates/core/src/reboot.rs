@@ -10,7 +10,7 @@
 //! endemic equilibrium those models predict.
 
 use firmware::ContainerHandle;
-use netsim::{Application, Category, Ctx, NodeId};
+use netsim::{Application, Category, Ctx, ForkClone, ForkMap, NodeId};
 use rand::Rng;
 use std::time::Duration;
 
@@ -74,9 +74,14 @@ impl RebootController {
                 ctx.kill_app(app);
             }
             ctx.set_node_admin(node, false);
-            ctx.sim().schedule_call_after(REBOOT_DOWNTIME, move |sim| {
-                sim.set_node_admin(node, true);
-            });
+            // Forkable (data + fn pointer) so an in-flight downtime window
+            // survives Ddosim::fork.
+            ctx.sim().schedule_forkable_call_after(
+                REBOOT_DOWNTIME,
+                "reboot.restore",
+                node,
+                |sim, node| sim.set_node_admin(node, true),
+            );
         }
     }
 }
@@ -84,6 +89,14 @@ impl RebootController {
 impl Application for RebootController {
     fn name(&self) -> &str {
         "reboot-controller"
+    }
+
+    fn fork(&self, map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(RebootController {
+            devices: self.devices.fork_clone(map),
+            rate_per_min: self.rate_per_min,
+            reboots: self.reboots,
+        }))
     }
 
     fn state_digest(&self, h: &mut netsim::StateHasher) {

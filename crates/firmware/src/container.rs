@@ -146,7 +146,7 @@ pub enum ContainerEvent {
 }
 
 /// Mutable container state (shared between the node's applications).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ContainerState {
     /// Container name.
     pub name: String,
@@ -300,6 +300,28 @@ impl ContainerHandle {
         let s = self.0.borrow();
         s.image_bytes + s.fs.total_bytes() + s.procs.len() as u64 * PROC_OVERHEAD_BYTES
     }
+
+    /// Opaque identity of this handle's shared allocation — the key under
+    /// which [`ContainerRuntime::fork`] registers the forked replacement
+    /// in a [`netsim::ForkMap`].
+    pub fn fork_key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+impl netsim::ForkClone for ContainerHandle {
+    /// Translates the handle to its forked counterpart. The runtime must
+    /// have been forked first (registering every container).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container was never registered in `map` — forking
+    /// state that references an untracked container is a bug, not a
+    /// recoverable condition.
+    fn fork_clone(&self, map: &netsim::ForkMap) -> Self {
+        map.get::<ContainerHandle>(self.fork_key())
+            .expect("container registered in the fork map before app forking")
+    }
 }
 
 /// The container runtime: builds containers and aggregates accounting —
@@ -353,6 +375,20 @@ impl ContainerRuntime {
     /// Number of recruited containers.
     pub fn infected_count(&self) -> usize {
         self.containers.iter().filter(|c| c.is_infected()).count()
+    }
+
+    /// Deep-clones every container into fresh, independent handles and
+    /// registers each old-handle → new-handle translation in `map`, so
+    /// applications forked afterwards resolve the forked containers
+    /// instead of aliasing the parent's.
+    pub fn fork(&self, map: &mut netsim::ForkMap) -> ContainerRuntime {
+        let mut containers = Vec::with_capacity(self.containers.len());
+        for c in &self.containers {
+            let forked = ContainerHandle(Rc::new(RefCell::new(c.state().clone())));
+            map.register(c.fork_key(), forked.clone());
+            containers.push(forked);
+        }
+        ContainerRuntime { containers }
     }
 
     /// Infection times, sorted (the botnet's growth curve; feeds the

@@ -142,7 +142,7 @@ impl std::error::Error for FsError {}
 /// assert!(fs.resolve_executable("/tmp/mirai").is_ok());
 /// # Ok::<(), firmware::FsError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SimFs {
     files: BTreeMap<String, FileEntry>,
 }

@@ -31,7 +31,7 @@ pub struct ProcEntry {
 }
 
 /// The container's process table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ProcTable {
     procs: Vec<ProcEntry>,
     next_pid: u32,

@@ -2,7 +2,7 @@
 
 use super::{ServiceCore, OPTION_LEAK_PROBE, OPTION_LEAK_VALUE};
 use netsim::packet::all_dhcp_agents_v6;
-use netsim::{Application, Ctx, Packet, Payload};
+use netsim::{Application, Ctx, ForkMap, Packet, Payload};
 use protocols::{Dhcpv6Kind, Dhcpv6Message, Dhcpv6Option, DHCPV6_SERVER_PORT, OPTION_RELAY_MSG};
 
 const TIMER_RESTART: u64 = 21;
@@ -39,6 +39,13 @@ impl DnsProxyDaemon {
 impl Application for DnsProxyDaemon {
     fn name(&self) -> &str {
         "dnsmasq"
+    }
+
+    fn fork(&self, map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(DnsProxyDaemon {
+            core: self.core.fork(map),
+            relay_messages_seen: self.relay_messages_seen,
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

@@ -90,6 +90,22 @@ impl ServiceCore {
         &self.container
     }
 
+    /// Deep-copies the core into a forked world: the [`VulnProcess`] and
+    /// counters clone plainly, the container handle translates through
+    /// `map`.
+    pub fn fork(&self, map: &netsim::ForkMap) -> ServiceCore {
+        ServiceCore {
+            container: netsim::ForkClone::fork_clone(&self.container, map),
+            process: self.process.clone(),
+            daemon: self.daemon.clone(),
+            restart_delay: self.restart_delay,
+            payloads_received: self.payloads_received,
+            execs: self.execs,
+            crashes: self.crashes,
+            blocked: self.blocked,
+        }
+    }
+
     /// The underlying vulnerable process.
     pub fn process(&self) -> &VulnProcess {
         &self.process

@@ -1,7 +1,7 @@
 //! The Connman-like network manager daemon (`connmand`).
 
 use super::{leak_query_name, ServiceCore, RTYPE_LEAK_PROBE};
-use netsim::{Application, Ctx, Packet, Payload};
+use netsim::{Application, Ctx, ForkMap, Packet, Payload};
 use protocols::DnsMessage;
 use rand::Rng;
 use std::net::SocketAddr;
@@ -62,6 +62,17 @@ impl NetMgrDaemon {
 impl Application for NetMgrDaemon {
     fn name(&self) -> &str {
         "connmand"
+    }
+
+    fn fork(&self, map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(NetMgrDaemon {
+            core: self.core.fork(map),
+            dns_server: self.dns_server,
+            query_interval: self.query_interval,
+            local_port: self.local_port,
+            next_id: self.next_id,
+            queries_sent: self.queries_sent,
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

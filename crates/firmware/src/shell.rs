@@ -9,7 +9,7 @@
 use crate::container::{ContainerEvent, ContainerHandle};
 use crate::fs::{FileKind, LaunchEnv, ServedFile, ShellScript};
 use crate::proc::Pid;
-use netsim::{Application, Category, ConnId, Ctx, Payload, TcpEvent};
+use netsim::{Application, Category, ConnId, Ctx, ForkClone, ForkMap, Payload, TcpEvent};
 use protocols::{HttpRequest, HttpResponse, HTTP_PORT};
 use std::collections::VecDeque;
 use std::net::{IpAddr, SocketAddr};
@@ -51,7 +51,7 @@ enum HttpTarget {
     SaveTo(String),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum JobState {
     Idle,
     Http { conn: ConnId, target: HttpTarget },
@@ -342,6 +342,16 @@ impl ShellJob {
 impl Application for ShellJob {
     fn name(&self) -> &str {
         "sh"
+    }
+
+    fn fork(&self, map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(ShellJob {
+            container: self.container.fork_clone(map),
+            queue: self.queue.clone(),
+            state: self.state.clone(),
+            pid: self.pid,
+            pending_path: self.pending_path.clone(),
+        }))
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

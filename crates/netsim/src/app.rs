@@ -8,6 +8,7 @@
 //! [`Ctx`]: crate::sim::Ctx
 
 use crate::digest::StateHasher;
+use crate::fork::ForkMap;
 use crate::packet::Packet;
 use crate::sim::Ctx;
 use crate::tcp::TcpEvent;
@@ -67,6 +68,21 @@ pub trait Application: Any {
     fn state_digest(&self, hasher: &mut StateHasher) {
         let _ = hasher;
     }
+
+    /// Deep-clones this application into a forked world.
+    ///
+    /// Plain-state apps return a boxed clone; apps holding shared handles
+    /// (e.g. a firmware container) translate them through the [`ForkMap`]
+    /// so the fork never aliases parent state. The default returns `None`,
+    /// which makes [`Simulator::fork`] fail naming the app — forkability
+    /// is opt-in precisely so an unexamined app cannot be silently
+    /// shallow-copied into a fork.
+    ///
+    /// [`Simulator::fork`]: crate::sim::Simulator::fork
+    fn fork(&self, map: &ForkMap) -> Option<Box<dyn Application>> {
+        let _ = map;
+        None
+    }
 }
 
 /// A no-op application, useful as a placeholder.
@@ -76,5 +92,9 @@ pub struct NullApp;
 impl Application for NullApp {
     fn name(&self) -> &str {
         "null"
+    }
+
+    fn fork(&self, _map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(*self))
     }
 }

@@ -74,7 +74,7 @@ impl Default for LinkConfig {
 }
 
 /// One direction of a point-to-point link.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct LinkDirection {
     pub queue: VecDeque<Packet>,
     pub queued_bytes: u64,
@@ -99,7 +99,7 @@ pub(crate) fn prealloc_packets(capacity_bytes: u64) -> usize {
 }
 
 /// A full-duplex point-to-point link between two interfaces.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct P2pLink {
     pub(crate) config: LinkConfig,
     pub(crate) endpoints: [IfaceId; 2],

@@ -25,7 +25,7 @@ pub enum Attachment {
 }
 
 /// A network interface installed on a node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Iface {
     pub(crate) node: NodeId,
     pub(crate) addrs: Vec<IpAddr>,
@@ -137,7 +137,7 @@ const SMALL_TABLE_SCAN: usize = 8;
 /// on an attached link or the node itself bumps `epoch`; the next lookup
 /// notices the stale `cache_epoch`, discards every cached resolution, and
 /// re-sorts the match table if routes changed.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct RouteTable {
     /// Routes in insertion order — the reference (naive) scan uses these.
     routes: Vec<Route>,
@@ -268,7 +268,7 @@ impl RouteTable {
 }
 
 /// A simulated node: a host, router, or container ghost node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Node {
     pub(crate) name: String,
     pub(crate) up: bool,

@@ -6,6 +6,7 @@ use std::any::Any;
 use crate::digest::StateHasher;
 use crate::equeue::{EventQueue, TimeOrderedQueue};
 use crate::fastmap::FastMap;
+use crate::fork::{ForkClone, ForkMap, ForkableCall, ForkableFn};
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use crate::link::{LinkConfig, P2pLink};
 use crate::node::{Attachment, Iface, Node, Route};
@@ -120,6 +121,10 @@ fn digest_event(h: &mut StateHasher, event: &Event) {
         Event::Call(_) => {
             h.write_bytes(&[8]);
         }
+        Event::Forkable(call) => {
+            h.write_bytes(&[9]);
+            h.write_str(call.digest_label());
+        }
     }
 }
 
@@ -137,6 +142,39 @@ enum Event {
     TcpRto { node: NodeId, conn: u64, seq: u64 },
     SetNode { node: NodeId, up: bool },
     Call(Box<dyn FnOnce(&mut Simulator)>),
+    /// Like `Call`, but with explicit captured data so a pending callback
+    /// can be deep-cloned into a fork (see [`crate::fork`]).
+    Forkable(Box<dyn ForkableCall>),
+}
+
+impl Event {
+    /// Deep-clones a pending event into a forked world. Everything except
+    /// `Call` is plain data; an opaque `Call` closure cannot be cloned and
+    /// returns `None` (the fork fails loudly rather than dropping work).
+    fn fork(&self, map: &ForkMap) -> Option<Event> {
+        Some(match self {
+            Event::AppStart(app) => Event::AppStart(*app),
+            Event::Timer { app, token } => Event::Timer { app: *app, token: *token },
+            Event::TxComplete { link, side, gen } => {
+                Event::TxComplete { link: *link, side: *side, gen: *gen }
+            }
+            Event::Deliver { iface, packet, epoch } => {
+                Event::Deliver { iface: *iface, packet: packet.clone(), epoch: *epoch }
+            }
+            Event::WifiAttempt { chan, station } => {
+                Event::WifiAttempt { chan: *chan, station: *station }
+            }
+            Event::WifiTxComplete { chan, station, gen } => {
+                Event::WifiTxComplete { chan: *chan, station: *station, gen: *gen }
+            }
+            Event::TcpRto { node, conn, seq } => {
+                Event::TcpRto { node: *node, conn: *conn, seq: *seq }
+            }
+            Event::SetNode { node, up } => Event::SetNode { node: *node, up: *up },
+            Event::Call(_) => return None,
+            Event::Forkable(call) => Event::Forkable(call.fork(map)),
+        })
+    }
 }
 
 /// The discrete-event network simulator.
@@ -268,6 +306,14 @@ impl Simulator {
     /// sample different loss patterns under the same simulation seed.
     pub fn reseed_fault_rng(&mut self, seed: u64) {
         self.fault_rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Reseeds the main RNG stream. Divergence-point seeding for forks:
+    /// the simulator does not retain its construction seed, so the caller
+    /// derives the fork's stream from its own configuration (e.g.
+    /// `sim_seed ^ fork_seed ^ LAYER_TAG`) and installs it here.
+    pub fn reseed_rng(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 
     /// Installs a packet trace hook (a Wireshark-lite observer).
@@ -717,6 +763,32 @@ impl Simulator {
         self.schedule_call(self.now + after, f);
     }
 
+    /// Schedules a *forkable* callback at `at`: `data` plus a plain `fn`
+    /// pointer instead of an opaque closure, so the pending call can be
+    /// deep-cloned by [`Simulator::fork`]. `label` is a stable name folded
+    /// into event-queue digests (and shown in debug output).
+    pub fn schedule_forkable_call<T: ForkClone + 'static>(
+        &mut self,
+        at: SimTime,
+        label: &'static str,
+        data: T,
+        f: fn(&mut Simulator, T),
+    ) {
+        self.schedule(at, Event::Forkable(Box::new(ForkableFn { data, f, label })));
+    }
+
+    /// Schedules a forkable callback `after` from now (see
+    /// [`Simulator::schedule_forkable_call`]).
+    pub fn schedule_forkable_call_after<T: ForkClone + 'static>(
+        &mut self,
+        after: Duration,
+        label: &'static str,
+        data: T,
+        f: fn(&mut Simulator, T),
+    ) {
+        self.schedule_forkable_call(self.now + after, label, data, f);
+    }
+
     // ----- run loop ----------------------------------------------------------------
 
     fn schedule(&mut self, at: SimTime, event: Event) {
@@ -894,6 +966,86 @@ impl Simulator {
         layers
     }
 
+    /// Deep-clones the live world into an independent simulator — the
+    /// in-memory fork behind checkpoint-forked scenario trees. The fork
+    /// shares nothing mutable with the parent: nodes, links, channels,
+    /// transport stacks, both RNG streams (at their exact positions), and
+    /// every pending event are duplicated; applications are cloned through
+    /// their own [`Application::fork`], translating shared handles via
+    /// `map`. The fork starts with tracing and telemetry disabled — the
+    /// caller installs fresh handles (a forked recorder splices at the
+    /// parent's event count).
+    ///
+    /// # Errors
+    ///
+    /// Fails — naming the obstacle — when the world holds state that
+    /// cannot be cloned: a deployed ingress filter (an opaque `FnMut`), a
+    /// pending [`Simulator::schedule_call`] closure (use
+    /// [`Simulator::schedule_forkable_call`] for calls that must survive a
+    /// fork), or an application whose [`Application::fork`] returns `None`.
+    pub fn fork(&self, map: &ForkMap) -> Result<Simulator, String> {
+        if !self.filters.is_empty() {
+            return Err(
+                "cannot fork: an ingress filter (opaque closure) is deployed; \
+                 remove filters before forking"
+                    .into(),
+            );
+        }
+        let queue = self.queue.try_clone_with(|time, seq, event| {
+            event.fork(map).ok_or_else(|| {
+                format!(
+                    "cannot fork: opaque Call closure pending at t={time}ns (seq {seq}); \
+                     schedule it with schedule_forkable_call instead"
+                )
+            })
+        })?;
+        let mut apps: Vec<Vec<Option<Box<dyn Application>>>> = Vec::with_capacity(self.apps.len());
+        for (node_idx, slots) in self.apps.iter().enumerate() {
+            let mut forked = Vec::with_capacity(slots.len());
+            for (slot, app) in slots.iter().enumerate() {
+                match app {
+                    None => forked.push(None),
+                    Some(app) => match app.fork(map) {
+                        Some(clone) => forked.push(Some(clone)),
+                        None => {
+                            return Err(format!(
+                                "cannot fork: application '{}' (node {node_idx}, slot {slot}) \
+                                 does not implement fork",
+                                app.name()
+                            ))
+                        }
+                    },
+                }
+            }
+            apps.push(forked);
+        }
+        Ok(Simulator {
+            now: self.now,
+            queue,
+            seq: self.seq,
+            next_packet_id: self.next_packet_id,
+            nodes: self.nodes.clone(),
+            ifaces: self.ifaces.clone(),
+            links: self.links.clone(),
+            channels: self.channels.clone(),
+            apps,
+            tcp: self.tcp.clone(),
+            addr_index: self.addr_index.clone(),
+            route_cache_enabled: self.route_cache_enabled,
+            // SmallRng is plain state; Clone resumes the exact stream
+            // position, so a seed-0 fork draws identically to the parent.
+            rng: self.rng.clone(),
+            fault_rng: self.fault_rng.clone(),
+            stats: self.stats.clone(),
+            trace: None,
+            telemetry: Telemetry::disabled(),
+            reported_sweeps: self.reported_sweeps,
+            stop_requested: self.stop_requested,
+            buffered_now: self.buffered_now,
+            filters: FastMap::default(),
+        })
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::AppStart(id) => {
@@ -922,6 +1074,7 @@ impl Simulator {
             }
             Event::SetNode { node, up } => self.set_node_admin(node, up),
             Event::Call(f) => f(self),
+            Event::Forkable(call) => call.call(self),
         }
     }
 

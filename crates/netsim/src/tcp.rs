@@ -121,14 +121,14 @@ enum ConnState {
     Established,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UnackedSeg {
     payload: Payload,
     bytes: u32,
     retries: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Conn {
     owner: AppId,
     local_addr: IpAddr,
@@ -151,7 +151,7 @@ struct Conn {
 /// off the front. Lookup is a bounds check and an index instead of a hash;
 /// memory is bounded by the span between the oldest and newest live
 /// connection (an empty slot is one `Option<Box<Conn>>` — 8 bytes).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ConnSlab {
     /// The connection id of `slots[0]` (meaningless while `slots` is empty).
     base: u64,
@@ -242,7 +242,7 @@ pub(crate) enum TcpAction {
 }
 
 /// Per-node tcp-lite state machine.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct TcpStack {
     node: Option<NodeId>,
     listeners: FastMap<u16, AppId>,

@@ -48,7 +48,7 @@ impl Default for AddrAllocator {
 ///
 /// The fabric forwards unicast and relays multicast, modelling the paper's
 /// "simulated Internet" that joins Attacker, Devs, and TServer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StarTopology {
     fabric: NodeId,
     alloc: AddrAllocator,
@@ -122,7 +122,7 @@ impl StarTopology {
 /// impact device-device links". A tiered fabric lifts that limitation:
 /// devices in the same region share a regional uplink, so congestion
 /// appears at two levels (regional uplinks first, then the backbone).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TieredTopology {
     backbone: NodeId,
     regions: Vec<NodeId>,
@@ -247,7 +247,7 @@ impl TieredTopology {
 /// one shared CSMA/CA channel, with wired point-to-point attachments for
 /// core components — the shape of the paper's physical validation setup
 /// (Raspberry-Pi Devs on a Netgear router, servers on Ethernet).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WifiTopology {
     root: NodeId,
     chan: crate::ids::ChannelId,

@@ -56,7 +56,7 @@ impl Default for WifiConfig {
 }
 
 /// Per-station transmitter state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Station {
     pub iface: IfaceId,
     pub queue: VecDeque<Packet>,
@@ -82,7 +82,7 @@ pub(crate) struct Station {
 
 /// A shared channel joining many station interfaces, optionally with a
 /// designated gateway (access-point/router uplink) station.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WifiChannel {
     pub(crate) config: WifiConfig,
     pub(crate) stations: Vec<Station>,

@@ -95,7 +95,7 @@ impl TelemetryConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
     recorder: Option<FlightRecorder>,
     capture: Option<PacketCapture>,
@@ -275,6 +275,25 @@ impl Telemetry {
         self.inner
             .as_ref()
             .and_then(|i| i.borrow().metrics.as_ref().map(SeriesSet::to_json))
+    }
+
+    /// Deep-clones the collectors into an independent handle.
+    ///
+    /// A plain `clone()` shares the collectors (that is the point of the
+    /// handle); a *fork* needs its own copies so the forked world's events
+    /// land in a separate trace while the parent's handle keeps recording
+    /// the parent. The forked recorder keeps the parent's sequence
+    /// counter, so a fork's first event is numbered exactly where the
+    /// parent left off — the recorder-splice analogue for forks.
+    pub fn deep_fork(&self) -> Telemetry {
+        match &self.inner {
+            None => Telemetry::disabled(),
+            Some(inner) => Telemetry {
+                records: self.records,
+                captures: self.captures,
+                inner: Some(Rc::new(RefCell::new(inner.borrow().clone()))),
+            },
+        }
     }
 
     /// Events recorded over the run (0 when the recorder is off).

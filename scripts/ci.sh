@@ -11,7 +11,11 @@
 #                tiered, fault plan, zero-fault no-op)
 #   checkpoint   resume == straight-through: snapshot mid-attack, resume,
 #                and diff the resumed trace against the original's suffix
-#                (trace suffix + trace diff), plain and under a fault plan
+#                (trace suffix + trace diff), plain and under a fault plan;
+#                fork == straight-through: run a scenario tree forked
+#                mid-attack and diff the identity branch's full trace
+#                against the uninterrupted run (a reseeded sibling must
+#                diverge)
 #
 #   usage: scripts/ci.sh [stage ...]    (no args = all stages, in order)
 #
@@ -64,7 +68,8 @@ stage_test() {
 stage_perf() {
     # Performance regression gate: a fresh smoke snapshot must stay within
     # 25% of the committed baseline on every throughput gauge (event queue,
-    # link saturation, whole-sim, large topology, checkpoint snapshots).
+    # link saturation, whole-sim, large topology, checkpoint snapshots,
+    # fork branches).
     $PERFSNAP --smoke --out "$work/fresh-snap.json"
     $PERFSNAP --compare-only results/BENCH_netsim.json "$work/fresh-snap.json"
 }
@@ -156,6 +161,33 @@ PLAN
     $DDOSIM --resume "$cp_file" --record "$resumed" > /dev/null
     $DDOSIM trace suffix "$full" "$cp_file" > "$suffix"
     $DDOSIM trace diff "$suffix" "$resumed"
+
+    # Fork smoke: a scenario tree forked mid-attack runs its branches on
+    # in-memory deep clones of the live world (no replay). The identity
+    # branch (fork seed 0, no divergence) must reproduce the
+    # straight-through run's full trace byte for byte; the reseeded
+    # sibling branch in the same sweep must diverge.
+    splan=$work/suffix-plan.json
+    forked=$work/fork.json
+    cat > "$splan" <<'PLAN'
+{
+  "schema": "ddosim.suffix/1",
+  "fork_at_nanos": 28000000000,
+  "suffixes": [
+    { "name": "baseline", "fork_seed": 0,
+      "faults": { "schema": "ddosim.faults.plan/1", "faults": [] },
+      "admin_lines": [], "horizon_nanos": null },
+    { "name": "reseeded", "fork_seed": 99,
+      "faults": { "schema": "ddosim.faults.plan/1", "faults": [] },
+      "admin_lines": [], "horizon_nanos": null }
+  ],
+  "config": null
+}
+PLAN
+    run_traced "$full"
+    run_traced "$forked" --suffixes "$splan"
+    $DDOSIM trace diff "$full" "$work/fork.baseline.json"
+    ! $DDOSIM trace diff "$full" "$work/fork.reseeded.json" > /dev/null
 }
 
 ALL_STAGES="build test perf determinism checkpoint"

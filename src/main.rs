@@ -56,6 +56,15 @@ OPTIONS:
                               flight recorder splices onto the original prefix;
                               world-shaping flags (--devs, --seed, ...) are
                               rejected, output paths (--record, ...) are not
+    --suffixes <FILE>         run a scenario tree (schema ddosim.suffix/1):
+                              the world runs once to the fork point, is
+                              deep-cloned in memory per suffix, and the forks
+                              run their divergent futures in parallel; if the
+                              plan embeds a config, world-shaping flags are
+                              rejected; with --record each fork's full trace
+                              goes to <record stem>.<suffix name>.json
+    --fork-at <SECS>          override the plan's fork point (requires
+                              --suffixes; fractional ok)
     -h, --help                show this help
 
 SUBCOMMANDS:
@@ -92,6 +101,12 @@ struct RunOpts {
     checkpoint_at: Option<Duration>,
     checkpoint_out: Option<String>,
     resume_path: Option<String>,
+    suffixes_path: Option<String>,
+    fork_at: Option<Duration>,
+    /// First world-shaping flag seen, kept so a suffix plan with an
+    /// embedded config can reject it at run time (the file is only read
+    /// then).
+    world_flag: Option<String>,
 }
 
 /// Flags that shape the simulated world (as opposed to naming output
@@ -134,6 +149,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut checkpoint_at: Option<Duration> = None;
     let mut checkpoint_out: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut suffixes_path: Option<String> = None;
+    let mut fork_at: Option<Duration> = None;
     let mut world_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -269,6 +286,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?),
             "--resume" => resume_path = Some(value("--resume")?),
+            "--suffixes" => suffixes_path = Some(value("--suffixes")?),
+            "--fork-at" => {
+                let secs: f64 = value("--fork-at")?
+                    .parse()
+                    .map_err(|e| format!("--fork-at: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--fork-at: must be non-negative".to_owned());
+                }
+                fork_at = Some(Duration::from_secs_f64(secs));
+            }
             "-h" | "--help" => return Ok(Cli::Help),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -281,6 +308,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                  configuration, telemetry included (output paths such as \
                  --record are still allowed)"
             ));
+        }
+    }
+    if fork_at.is_some() && suffixes_path.is_none() {
+        return Err("--fork-at requires --suffixes".to_owned());
+    }
+    if suffixes_path.is_some() {
+        for (flag, set) in [
+            ("--resume", resume_path.is_some()),
+            ("--checkpoint-at", checkpoint_at.is_some()),
+            ("--capture", capture_out.is_some()),
+            ("--metrics-interval", telemetry.metrics_interval.is_some()),
+            ("--metrics-out", metrics_out.is_some()),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} cannot be combined with --suffixes: a scenario \
+                     tree runs one prefix and many forked futures, which \
+                     only supports per-fork flight-recorder output (--record)"
+                ));
+            }
         }
     }
     if checkpoint_out.is_some() && checkpoint_at.is_none() {
@@ -309,6 +356,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         checkpoint_at,
         checkpoint_out,
         resume_path,
+        suffixes_path,
+        fork_at,
+        world_flag,
     })))
 }
 
@@ -321,10 +371,119 @@ fn write_doc(path: &str, doc: Option<djson::Json>, what: &str) -> Result<(), Str
     Ok(())
 }
 
+/// One human-readable result line (shared by single runs and scenario-tree
+/// rows).
+fn summary_line(result: &ddosim::RunResult) -> String {
+    format!(
+        "devs={} recruited={} ({:.0}%)  bots@command={}  avg={:.1} kbps  \
+         flood_rx={} pkts  pre/attack mem={:.2}/{:.2} GB  attack wall={}",
+        result.devs,
+        result.infected,
+        result.infection_rate * 100.0,
+        result.bots_at_command,
+        result.avg_received_data_rate_kbps,
+        result.flood_packets_received,
+        result.pre_attack_mem_gb,
+        result.attack_mem_gb,
+        result.attack_time_m_ss(),
+    )
+}
+
+/// Inserts a suffix name before the record path's extension:
+/// `out.json` + `baseline` → `out.baseline.json`.
+fn suffix_record_path(base: &str, name: &str) -> String {
+    match base.rsplit_once('.') {
+        Some((stem, ext)) if !ext.contains('/') => format!("{stem}.{name}.{ext}"),
+        _ => format!("{base}.{name}"),
+    }
+}
+
+/// Runs a scenario tree: one shared prefix to the fork point, then every
+/// suffix on an in-memory fork, fanned out across the worker pool.
+fn run_scenario_tree(opts: RunOpts) -> Result<(), String> {
+    let RunOpts {
+        mut builder, json, telemetry, faults_path, record_out, suffixes_path, fork_at,
+        world_flag, ..
+    } = opts;
+    let path = suffixes_path.expect("checked by the caller");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut plan = ddosim::SuffixPlan::parse(&text)?;
+    if let Some(at) = fork_at {
+        plan.fork_at = at;
+    }
+    if plan.suffixes.is_empty() {
+        return Err(format!("suffix plan {path} has no suffixes"));
+    }
+    let mut world = match plan.config.take() {
+        Some(mut config) => {
+            if let Some(flag) = world_flag {
+                return Err(format!(
+                    "{flag} cannot be combined with --suffixes when the plan \
+                     embeds a configuration: the world is built exactly from \
+                     the plan (output paths such as --record are still allowed)"
+                ));
+            }
+            config.telemetry.record |= telemetry.record;
+            ddosim::Ddosim::new(config)?
+        }
+        None => {
+            if let Some(p) = faults_path {
+                let t =
+                    std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))?;
+                builder = builder.faults(ddosim::FaultPlan::parse_str(&t)?);
+            }
+            builder.telemetry(telemetry).build()?
+        }
+    };
+    world.run_prefix(plan.fork_at)?;
+    let outcomes = ddosim::run_suffixes_traced(&world, &plan.suffixes);
+    let mut failures = 0usize;
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for (spec, outcome) in plan.suffixes.iter().zip(&outcomes) {
+        match outcome {
+            Ok(o) => {
+                if let Some(base) = &record_out {
+                    let out = suffix_record_path(base, &spec.name);
+                    write_doc(&out, o.trace.clone(), "flight recorder")?;
+                }
+                if json {
+                    rows.push(djson::Json::obj([
+                        ("name", djson::Json::Str(spec.name.clone())),
+                        ("result", djson::ToJson::to_json(&o.result)),
+                    ]));
+                } else {
+                    println!("{}: {}", spec.name, summary_line(&o.result));
+                }
+            }
+            Err(msg) => {
+                failures += 1;
+                if json {
+                    rows.push(djson::Json::obj([
+                        ("name", djson::Json::Str(spec.name.clone())),
+                        ("error", djson::Json::Str(msg.clone())),
+                    ]));
+                } else {
+                    println!("{}: error: {msg}", spec.name);
+                }
+            }
+        }
+    }
+    if json {
+        println!("{}", djson::Json::Arr(rows).to_string_pretty());
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} suffixes failed", outcomes.len()));
+    }
+    Ok(())
+}
+
 fn run(opts: RunOpts) -> Result<(), String> {
+    if opts.suffixes_path.is_some() {
+        return run_scenario_tree(opts);
+    }
     let RunOpts {
         mut builder, json, telemetry, faults_path, record_out, capture_out, metrics_out,
-        checkpoint_at, checkpoint_out, resume_path,
+        checkpoint_at, checkpoint_out, resume_path, ..
     } = opts;
     if let Some(path) = faults_path {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -361,19 +520,7 @@ fn run(opts: RunOpts) -> Result<(), String> {
     if json {
         println!("{}", djson::ToJson::to_json(&result).to_string_pretty());
     } else {
-        println!(
-            "devs={} recruited={} ({:.0}%)  bots@command={}  avg={:.1} kbps  \
-             flood_rx={} pkts  pre/attack mem={:.2}/{:.2} GB  attack wall={}",
-            result.devs,
-            result.infected,
-            result.infection_rate * 100.0,
-            result.bots_at_command,
-            result.avg_received_data_rate_kbps,
-            result.flood_packets_received,
-            result.pre_attack_mem_gb,
-            result.attack_mem_gb,
-            result.attack_time_m_ss(),
-        );
+        println!("{}", summary_line(&result));
     }
     Ok(())
 }
@@ -533,6 +680,14 @@ mod tests {
             (&["--resume", "cp.json", "--topology", "wifi"], "--topology"),
             (&["--resume", "cp.json", "--metrics-interval", "1"], "--metrics-interval"),
             (&["--topology", "mesh"], "unknown topology"),
+            (&["--fork-at", "30"], "--fork-at requires --suffixes"),
+            (&["--fork-at", "-1", "--suffixes", "p.json"], "non-negative"),
+            (&["--fork-at", "soon", "--suffixes", "p.json"], "--fork-at"),
+            (&["--suffixes", "p.json", "--resume", "cp.json"], "--resume"),
+            (&["--suffixes", "p.json", "--checkpoint-at", "10"], "--checkpoint-at"),
+            (&["--suffixes", "p.json", "--capture", "c.json"], "--capture"),
+            (&["--suffixes", "p.json", "--metrics-interval", "1"], "--metrics-interval"),
+            (&["--suffixes", "p.json", "--metrics-out", "m.json"], "--metrics-out"),
         ];
         for (args, fragment) in table {
             match parse(args) {
@@ -628,6 +783,26 @@ mod tests {
         // point; the run itself enforces the ordering).
         let opts = run_opts(&["--resume", "cp.json", "--checkpoint-at", "80"]);
         assert_eq!(opts.checkpoint_at, Some(Duration::from_secs(80)));
+    }
+
+    #[test]
+    fn suffix_flags_parse() {
+        let opts = run_opts(&["--suffixes", "plan.json", "--fork-at", "12.5", "--record", "t.json"]);
+        assert_eq!(opts.suffixes_path.as_deref(), Some("plan.json"));
+        assert_eq!(opts.fork_at, Some(Duration::from_secs_f64(12.5)));
+        assert_eq!(opts.record_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.world_flag, None);
+        // World flags parse fine — a plan *without* an embedded config
+        // uses them; run time rejects them otherwise.
+        let opts = run_opts(&["--devs", "6", "--suffixes", "plan.json"]);
+        assert_eq!(opts.world_flag.as_deref(), Some("--devs"));
+    }
+
+    #[test]
+    fn suffix_record_paths_embed_the_name() {
+        assert_eq!(suffix_record_path("out.json", "baseline"), "out.baseline.json");
+        assert_eq!(suffix_record_path("trace", "b1"), "trace.b1");
+        assert_eq!(suffix_record_path("a.dir/trace", "b1"), "a.dir/trace.b1");
     }
 
     #[test]

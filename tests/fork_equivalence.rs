@@ -1,0 +1,225 @@
+//! Fork equivalence: an in-memory fork taken at T with fork seed 0 must
+//! produce a flight-recorder trace byte-identical to the straight-through
+//! run — across every fabric shape and under fault injection. Distinct
+//! fork seeds must share the 0→T prefix and diverge after it, equal seeds
+//! must be byte-identical to each other, and checkpointing a fork must
+//! yield the very checkpoint the straight-through run saves.
+
+use ddosim::{AttackSpec, SimulationBuilder, SuffixSpec, TelemetryConfig, TopologyKind};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// When the world is forked: mid-attack, so the clone carries in-flight
+/// floods, live C&C connections, and armed timers.
+const FORK_AT: Duration = Duration::from_secs(30);
+
+fn recording() -> TelemetryConfig {
+    TelemetryConfig {
+        record: true,
+        ..TelemetryConfig::default()
+    }
+}
+
+fn base(seed: u64, topology: TopologyKind) -> SimulationBuilder {
+    SimulationBuilder::new()
+        .devs(8)
+        .attack(AttackSpec::udp_plain(Duration::from_secs(10)))
+        .attack_at(Duration::from_secs(25))
+        .sim_time(Duration::from_secs(45))
+        .attack_ramp(Duration::from_secs(3))
+        .seed(seed)
+        .topology(topology)
+        .telemetry(recording())
+}
+
+/// The uninterrupted run's full trace.
+fn straight_trace(builder: SimulationBuilder) -> String {
+    let instance = builder.build().expect("valid configuration");
+    let handle = instance.telemetry().clone();
+    instance.try_run_to_completion().expect("run succeeds");
+    handle.recorder_json().expect("recording").to_string_compact()
+}
+
+/// Runs the prefix to `at`, forks with `fork_seed`, runs the fork to the
+/// horizon, and returns its full trace (prefix events included — a fork
+/// inherits the parent's recorder).
+fn forked_trace(builder: SimulationBuilder, at: Duration, fork_seed: u64) -> String {
+    let mut parent = builder.build().expect("valid configuration");
+    parent.run_prefix(at).expect("prefix runs");
+    let fork = parent.fork_with_seed(fork_seed).expect("world forks");
+    let handle = fork.telemetry().clone();
+    fork.try_run_to_completion().expect("fork runs");
+    handle.recorder_json().expect("recording").to_string_compact()
+}
+
+/// One compact string per recorded event, for prefix comparisons.
+fn events(trace: &str) -> Vec<String> {
+    let doc = djson::Json::parse(trace).expect("trace parses");
+    doc.get("events")
+        .and_then(djson::Json::as_array)
+        .expect("events array")
+        .iter()
+        .map(djson::Json::to_string_compact)
+        .collect()
+}
+
+fn assert_fork_equals_straight_through(make: impl Fn() -> SimulationBuilder) {
+    let straight = straight_trace(make());
+    let forked = forked_trace(make(), FORK_AT, 0);
+    assert_eq!(
+        straight, forked,
+        "seed-0 fork trace differs from the straight-through run"
+    );
+}
+
+#[test]
+fn star_fork_is_byte_identical_to_straight_through() {
+    assert_fork_equals_straight_through(|| base(42, TopologyKind::Star));
+}
+
+#[test]
+fn wifi_fork_is_byte_identical_to_straight_through() {
+    assert_fork_equals_straight_through(|| base(42, TopologyKind::Wifi));
+}
+
+#[test]
+fn tiered_fork_is_byte_identical_to_straight_through() {
+    assert_fork_equals_straight_through(|| {
+        base(
+            42,
+            TopologyKind::Tiered {
+                regions: 3,
+                region_uplink_bps: 10_000_000,
+            },
+        )
+    });
+}
+
+#[test]
+fn fault_plan_fork_is_byte_identical_to_straight_through() {
+    let plan = r#"{"schema":"ddosim.faults.plan/1","seed":9,"faults":[
+        {"at_secs":10,"kind":"link_down","node":"dev-3"},
+        {"at_secs":20,"kind":"link_up","node":"dev-3"},
+        {"at_secs":28,"kind":"node_crash","node":"dev-5"},
+        {"at_secs":35,"kind":"node_restore","node":"dev-5"}]}"#;
+    let plan = ddosim::FaultPlan::parse_str(plan).expect("valid plan");
+    assert_fork_equals_straight_through(|| base(42, TopologyKind::Star).faults(plan.clone()));
+}
+
+/// The worker-pool path must preserve equivalence too: an identity suffix
+/// fanned out through `run_suffixes_traced` returns the straight-through
+/// trace, while a reseeded sibling in the same sweep diverges.
+#[test]
+fn suffix_sweep_identity_trace_is_byte_identical_to_straight_through() {
+    let straight = straight_trace(base(42, TopologyKind::Star));
+    let mut parent = base(42, TopologyKind::Star).build().expect("valid configuration");
+    parent.run_prefix(FORK_AT).expect("prefix runs");
+    let mut diverged = SuffixSpec::identity("diverged");
+    diverged.fork_seed = 7;
+    let rows = ddosim::run_suffixes_traced(
+        &parent,
+        &[SuffixSpec::identity("baseline"), diverged],
+    );
+    let trace = |i: usize| {
+        rows[i]
+            .as_ref()
+            .expect("suffix runs")
+            .trace
+            .as_ref()
+            .expect("recording")
+            .to_string_compact()
+    };
+    assert_eq!(straight, trace(0), "identity suffix diverged from the parent's future");
+    assert_ne!(straight, trace(1), "reseeded suffix failed to diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random fork points and seeds: equal fork seeds are byte-identical
+    /// to each other; distinct seeds share the 0→T event prefix exactly
+    /// and diverge somewhere after it.
+    #[test]
+    fn fork_seeds_decorrelate_futures_but_share_the_prefix(
+        seed in 0u64..1000,
+        t_secs in 26u64..34,
+        fork_seed in 1u64..10_000,
+    ) {
+        let at = Duration::from_secs(t_secs);
+        let mut parent = base(seed, TopologyKind::Star).build().expect("valid configuration");
+        parent.run_prefix(at).expect("prefix runs");
+        let prefix = events(
+            &parent
+                .telemetry()
+                .recorder_json()
+                .expect("recording")
+                .to_string_compact(),
+        );
+        prop_assert!(!prefix.is_empty(), "nothing recorded before the fork point");
+
+        let run = |fork_seed: u64| {
+            let fork = parent.fork_with_seed(fork_seed).expect("world forks");
+            let handle = fork.telemetry().clone();
+            fork.try_run_to_completion().expect("fork runs");
+            handle.recorder_json().expect("recording").to_string_compact()
+        };
+        let baseline = run(0);
+        let reseeded = run(fork_seed);
+        let reseeded_again = run(fork_seed);
+
+        prop_assert_eq!(&reseeded, &reseeded_again, "equal fork seeds must be byte-identical");
+        prop_assert!(baseline != reseeded, "distinct fork seeds must diverge after T");
+        let baseline_events = events(&baseline);
+        let reseeded_events = events(&reseeded);
+        prop_assert_eq!(
+            &baseline_events[..prefix.len()],
+            &prefix[..],
+            "seed-0 fork rewrote the shared prefix"
+        );
+        prop_assert_eq!(
+            &reseeded_events[..prefix.len()],
+            &prefix[..],
+            "reseeded fork rewrote the shared prefix"
+        );
+    }
+
+    /// Forking at T and checkpointing the fork at T2 > T must save the
+    /// very checkpoint the straight-through run saves at T2 — and that
+    /// checkpoint must restore (restore re-verifies every state digest,
+    /// so this is the fork-digests-equal-checkpoint-digests property).
+    #[test]
+    fn fork_then_checkpoint_equals_straight_through_checkpoint(
+        seed in 0u64..1000,
+        t_secs in 26u64..30,
+        cp_secs in 31u64..40,
+    ) {
+        let (at, cp_at) = (Duration::from_secs(t_secs), Duration::from_secs(cp_secs));
+
+        let straight = base(seed, TopologyKind::Star)
+            .checkpoint_at(cp_at)
+            .build()
+            .expect("valid configuration");
+        let (_, saved) = straight.try_run_to_completion().expect("run succeeds");
+        let straight_cp = saved.expect("checkpoint was armed");
+
+        let mut parent = base(seed, TopologyKind::Star).build().expect("valid configuration");
+        parent.run_prefix(at).expect("prefix runs");
+        let mut fork = parent.fork().expect("world forks");
+        fork.set_checkpoint_at(cp_at);
+        let (_, saved) = fork.try_run_to_completion().expect("fork runs");
+        let fork_cp = saved.expect("checkpoint was armed");
+
+        prop_assert_eq!(
+            straight_cp.to_string_pretty(),
+            fork_cp.to_string_pretty(),
+            "a fork's checkpoint differs from the straight-through checkpoint"
+        );
+        let resumed = SimulationBuilder::new()
+            .resume_from(fork_cp)
+            .build()
+            .expect("checkpoint config is valid");
+        resumed
+            .try_run_to_completion()
+            .expect("a fork's checkpoint restores (digests verify)");
+    }
+}
