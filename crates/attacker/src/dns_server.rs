@@ -13,10 +13,15 @@
 
 use crate::exploit::ExploitForge;
 use firmware::{parse_leak_query_name, RTYPE_LEAK_PROBE};
+use malware::AMP_QUERY_PREFIX;
 use netsim::{Application, Ctx, ForkMap, Packet, Payload};
 use protocols::{DnsMessage, DnsRecord, DNS_PORT};
 use std::collections::HashSet;
 use std::net::IpAddr;
+
+/// Answer bytes in one amplification response: with the ~38-byte query
+/// this reproduces the ~25x gain of real open-resolver DNS amplification.
+pub const AMP_RESPONSE_BYTES: usize = 1024;
 
 /// The malicious DNS server application.
 #[derive(Debug)]
@@ -30,6 +35,8 @@ pub struct MaliciousDnsServer {
     pub leaks_received: u64,
     /// Exploit payloads sent.
     pub exploits_sent: u64,
+    /// Amplification answers reflected at forged query sources.
+    pub amp_responses: u64,
 }
 
 impl MaliciousDnsServer {
@@ -41,6 +48,7 @@ impl MaliciousDnsServer {
             probes_sent: 0,
             leaks_received: 0,
             exploits_sent: 0,
+            amp_responses: 0,
         }
     }
 
@@ -80,6 +88,7 @@ impl Application for MaliciousDnsServer {
             probes_sent: self.probes_sent,
             leaks_received: self.leaks_received,
             exploits_sent: self.exploits_sent,
+            amp_responses: self.amp_responses,
         }))
     }
 
@@ -94,6 +103,21 @@ impl Application for MaliciousDnsServer {
         };
         let (id, name) = (*id, name.clone());
         let src = packet.src;
+
+        if name.starts_with(AMP_QUERY_PREFIX) {
+            // Amplification: the server doubles as an open resolver. The
+            // query's source is forged to the victim, so this padded
+            // answer — ~25x the query size — lands on the victim, not on
+            // the bot that asked.
+            self.amp_responses += 1;
+            let answer = DnsMessage::Response {
+                id,
+                name: name.clone(),
+                answers: vec![DnsRecord::raw(name, 16, vec![0u8; AMP_RESPONSE_BYTES])],
+            };
+            self.respond(ctx, src, answer);
+            return;
+        }
 
         if let Some(leaked) = parse_leak_query_name(&name) {
             // Stage 2: rebase and fire.

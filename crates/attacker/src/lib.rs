@@ -24,6 +24,6 @@ pub mod exploit;
 pub mod fileserver;
 
 pub use dhcp6::Dhcpv6Injector;
-pub use dns_server::MaliciousDnsServer;
+pub use dns_server::{MaliciousDnsServer, AMP_RESPONSE_BYTES};
 pub use exploit::{ExploitForge, ExploitStrategy};
 pub use fileserver::FileServer;

@@ -42,6 +42,7 @@ fn bench_flood_only(c: &mut Criterion) {
         port: 80,
         duration_secs: 100,
         payload_bytes: None,
+        reflector: None,
     };
     let engine = FloodEngine::start(cmd, 7, 600_000, SimTime::ZERO);
     let src = "10.0.0.1:4000".parse().expect("addr");

@@ -258,6 +258,17 @@ fn whole_sim(spokes: usize, sim_secs: u64) -> djson::Json {
 /// the table the naive per-packet linear scan has to walk on every
 /// forwarded packet, and the route cache reduces to one hash probe.
 fn build_large_topology(cells: usize, devs_per_cell: usize, route_cache: bool) -> Simulator {
+    build_large_topology_with_nodes(cells, devs_per_cell, route_cache).0
+}
+
+/// [`build_large_topology`], also returning the backbone and target-server
+/// node handles plus the flood target address (the nodes scenario defenses
+/// deploy filters on, and the destination those filters inspect).
+fn build_large_topology_with_nodes(
+    cells: usize,
+    devs_per_cell: usize,
+    route_cache: bool,
+) -> (Simulator, netsim::NodeId, netsim::NodeId, SocketAddr) {
     use netsim::topology::AddrAllocator;
     use netsim::WifiConfig;
 
@@ -329,7 +340,7 @@ fn build_large_topology(cells: usize, devs_per_cell: usize, route_cache: bool) -
             );
         }
     }
-    sim
+    (sim, backbone, tserver, target)
 }
 
 /// Builds the large topology and runs it under load; returns packet count,
@@ -494,17 +505,69 @@ fn fork_gauge(cells: usize, devs_per_cell: usize, sim_secs: u64, branches: usize
     ])
 }
 
+/// Scenario-defense cost: the large multi-hop world again, but with the
+/// scenario subsystem's packet filters armed the whole run — a per-source
+/// rate limiter on the target server (one token bucket per flooding
+/// device, probed on every delivery) and an ISP egress-block rule on the
+/// backbone for a port the flood does not use (evaluated and passed on
+/// every forwarded packet). The gauge is packets per wall second with the
+/// filter stack in the path; the ratio against the unfiltered topology is
+/// recorded alongside.
+fn scenario_gauge(cells: usize, devs_per_cell: usize, sim_secs: u64) -> djson::Json {
+    let devices = cells * devs_per_cell;
+    let (_, clean_pps, _) = large_topology_run(cells, devs_per_cell, sim_secs, true);
+    let (mut sim, backbone, tserver, target) =
+        build_large_topology_with_nodes(cells, devs_per_cell, true);
+    // Generous per-source budget: the gauge measures filter evaluation
+    // cost, not drop behavior, so the buckets rarely run dry.
+    sim.push_node_filter(
+        tserver,
+        netsim::FilterRule::RateLimit {
+            rate_bps: 1_000_000,
+            burst_bytes: 64 * 1024,
+            buckets: std::collections::BTreeMap::new(),
+        },
+    );
+    sim.push_node_filter(
+        backbone,
+        netsim::FilterRule::EgressBlock { dst: target.ip(), port: Some(80) },
+    );
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let s = sim.stats();
+    let packets = s.packets_sent + s.packets_delivered + s.total_dropped();
+    let pps = packets as f64 / elapsed;
+    let overhead = clean_pps / pps.max(1e-9);
+    println!(
+        "scenario: {devices} devices with rate-limit + egress filters x {sim_secs}s sim | \
+         {pps:.0} packets/s ({elapsed:.2}s wall) | unfiltered {clean_pps:.0} packets/s | \
+         filter overhead {overhead:.2}x"
+    );
+    djson::Json::obj([
+        ("devices", djson::Json::U64(devices as u64)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("packets", djson::Json::U64(packets)),
+        ("packets_per_sec", djson::Json::F64(pps)),
+        ("wall_seconds", djson::Json::F64(elapsed)),
+        ("packets_per_sec_unfiltered", djson::Json::F64(clean_pps)),
+        ("filter_overhead", djson::Json::F64(overhead)),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
+}
+
 /// Maximum tolerated throughput loss before the gate fails (25%).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 6] = [
+const GAUGES: [(&str, &str); 7] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
     ("large_topology", "packets_per_sec"),
     ("checkpoint", "snapshots_per_sec"),
     ("fork", "branches_per_sec"),
+    ("scenario", "packets_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -603,6 +666,7 @@ fn main() -> std::process::ExitCode {
     let scale = large_topology(cells, devs_per_cell, scale_secs);
     let checkpoint = checkpoint_gauge(cells, devs_per_cell, scale_secs, reps);
     let fork = fork_gauge(cells, devs_per_cell, scale_secs, 8);
+    let scenario = scenario_gauge(cells, devs_per_cell, scale_secs);
 
     let out = djson::Json::obj([
         ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
@@ -613,6 +677,7 @@ fn main() -> std::process::ExitCode {
         ("large_topology", scale),
         ("checkpoint", checkpoint),
         ("fork", fork),
+        ("scenario", scenario),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -632,10 +697,22 @@ mod tests {
     use super::*;
 
     fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64) -> djson::Json {
-        snapshot_with_fork(eq, sat, sim, scale, ck, 10.0)
+        snapshot_full(eq, sat, sim, scale, ck, 10.0, 3e6)
     }
 
     fn snapshot_with_fork(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64, fk: f64) -> djson::Json {
+        snapshot_full(eq, sat, sim, scale, ck, fk, 3e6)
+    }
+
+    fn snapshot_full(
+        eq: f64,
+        sat: f64,
+        sim: f64,
+        scale: f64,
+        ck: f64,
+        fk: f64,
+        sc: f64,
+    ) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
         let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
         djson::Json::obj([
@@ -645,7 +722,16 @@ mod tests {
             ("large_topology", pps(scale)),
             ("checkpoint", djson::Json::obj([("snapshots_per_sec", djson::Json::F64(ck))])),
             ("fork", djson::Json::obj([("branches_per_sec", djson::Json::F64(fk))])),
+            ("scenario", pps(sc)),
         ])
+    }
+
+    #[test]
+    fn a_scenario_regression_fails_the_gate() {
+        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6);
+        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 2e6); // scenario -33%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed, "{lines:?}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::config::{
 use attacker::ExploitStrategy;
 use churn::ChurnMode;
 use djson::{FromJson, Json, ToJson};
+use faults::{check_schema, reject_unknown_fields, PlanError};
 use firmware::{CommandSet, ContainerRuntime, FileKind};
 use netsim::StateHasher;
 use protocols::AttackVector;
@@ -86,27 +87,45 @@ impl Checkpoint {
     ///
     /// Returns a message describing exactly what is wrong: invalid JSON
     /// (with the byte offset), a missing or mistyped field, an unknown
-    /// schema tag, or an unrepresentable configuration. Never panics on
-    /// corrupted or truncated input.
+    /// schema tag, an unknown top-level field, or an unrepresentable
+    /// configuration. Never panics on corrupted or truncated input.
     pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        Self::parse_plan(text).map_err(String::from)
+    }
+
+    /// Like [`Checkpoint::parse`], but surfaces the typed [`PlanError`]
+    /// shared by every schema-tagged plan document in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// A [`PlanError`] naming the first syntax, schema, unknown-field, or
+    /// shape problem.
+    pub fn parse_plan(text: &str) -> Result<Checkpoint, PlanError> {
+        const DOC: &str = "checkpoint";
         let json = Json::parse(text)
-            .map_err(|e| format!("checkpoint is not valid JSON ({e})"))?;
-        let schema = str_field(&json, "schema")?;
-        if schema != CHECKPOINT_SCHEMA {
-            return Err(format!(
-                "checkpoint schema is '{schema}', expected '{CHECKPOINT_SCHEMA}'"
-            ));
-        }
-        let at = Duration::from_nanos(u64_field(&json, "at_nanos")?);
-        let events_recorded = u64_field(&json, "events_recorded")?;
-        let digests_json = field(&json, "digests")?
+            .map_err(|e| PlanError::syntax(DOC, format!("is not valid JSON ({e})")))?;
+        check_schema(&json, DOC, CHECKPOINT_SCHEMA)?;
+        reject_unknown_fields(
+            &json,
+            DOC,
+            "checkpoint",
+            &["schema", "at_nanos", "events_recorded", "digests", "config"],
+        )?;
+        let invalid = |m: String| PlanError::invalid(DOC, m);
+        let at = Duration::from_nanos(u64_field(&json, "at_nanos").map_err(invalid)?);
+        let events_recorded = u64_field(&json, "events_recorded").map_err(invalid)?;
+        let digests_json = field(&json, "digests")
+            .map_err(invalid)?
             .as_array()
-            .ok_or("checkpoint field 'digests' is not an array")?;
+            .ok_or_else(|| PlanError::invalid(DOC, "field 'digests' is not an array"))?;
         let mut digests = Vec::with_capacity(digests_json.len());
         for d in digests_json {
-            digests.push((str_field(d, "layer")?.to_owned(), u64_field(d, "digest")?));
+            digests.push((
+                str_field(d, "layer").map_err(invalid)?.to_owned(),
+                u64_field(d, "digest").map_err(invalid)?,
+            ));
         }
-        let config = config_from_json(field(&json, "config")?)?;
+        let config = config_from_json(field(&json, "config").map_err(invalid)?).map_err(invalid)?;
         Ok(Checkpoint {
             at,
             config,
@@ -125,31 +144,31 @@ impl Checkpoint {
 
 fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
     json.get(key)
-        .ok_or_else(|| format!("checkpoint is missing field '{key}'"))
+        .ok_or_else(|| format!("missing field '{key}'"))
 }
 
 fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
     field(json, key)?
         .as_u64()
-        .ok_or_else(|| format!("checkpoint field '{key}' is not an unsigned integer"))
+        .ok_or_else(|| format!("field '{key}' is not an unsigned integer"))
 }
 
 fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
     field(json, key)?
         .as_f64()
-        .ok_or_else(|| format!("checkpoint field '{key}' is not a number"))
+        .ok_or_else(|| format!("field '{key}' is not a number"))
 }
 
 fn bool_field(json: &Json, key: &str) -> Result<bool, String> {
     field(json, key)?
         .as_bool()
-        .ok_or_else(|| format!("checkpoint field '{key}' is not a boolean"))
+        .ok_or_else(|| format!("field '{key}' is not a boolean"))
 }
 
 fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, String> {
     field(json, key)?
         .as_str()
-        .ok_or_else(|| format!("checkpoint field '{key}' is not a string"))
+        .ok_or_else(|| format!("field '{key}' is not a string"))
 }
 
 fn nanos_field(json: &Json, key: &str) -> Result<Duration, String> {
@@ -379,13 +398,13 @@ fn telemetry_from_json(json: &Json) -> Result<netsim::TelemetryConfig, String> {
         recorder_capacity: u64_field(json, "recorder_capacity")? as usize,
         capture: bool_field(json, "capture")?,
         capture_filter: CaptureFilter::parse(str_field(json, "capture_filter")?)
-            .map_err(|e| format!("checkpoint capture filter: {e}"))?,
+            .map_err(|e| format!("capture filter: {e}"))?,
         capture_capacity: u64_field(json, "capture_capacity")? as usize,
         metrics_interval: if metrics.is_null() {
             None
         } else {
             Some(Duration::from_nanos(metrics.as_u64().ok_or(
-                "checkpoint field 'metrics_interval_nanos' is not an unsigned integer",
+                "field 'metrics_interval_nanos' is not an unsigned integer",
             )?))
         },
     })
@@ -453,6 +472,8 @@ pub fn config_to_json(c: &SimulationConfig) -> Json {
         ),
         ("telemetry", telemetry_to_json(&c.telemetry)),
         ("faults", c.faults.to_json()),
+        ("honeypots", Json::U64(u64::from(c.honeypots))),
+        ("backup_cncs", Json::U64(u64::from(c.backup_cncs))),
         ("seed", Json::U64(c.seed)),
     ])
 }
@@ -471,7 +492,7 @@ pub fn config_from_json(json: &Json) -> Result<SimulationConfig, String> {
     let payload = field(attack_json, "payload_bytes")?;
     let admin_json = field(json, "admin_script")?
         .as_array()
-        .ok_or("checkpoint field 'admin_script' is not an array")?;
+        .ok_or("field 'admin_script' is not an array")?;
     let mut admin_script = Vec::with_capacity(admin_json.len());
     for entry in admin_json {
         admin_script.push((
@@ -481,17 +502,17 @@ pub fn config_from_json(json: &Json) -> Result<SimulationConfig, String> {
     }
     let commands_json = field(json, "commands")?
         .as_array()
-        .ok_or("checkpoint field 'commands' is not an array")?;
+        .ok_or("field 'commands' is not an array")?;
     let mut commands = Vec::with_capacity(commands_json.len());
     for c in commands_json {
         commands.push(
             c.as_str()
-                .ok_or("checkpoint field 'commands' holds a non-string")?
+                .ok_or("field 'commands' holds a non-string")?
                 .to_owned(),
         );
     }
     let faults = faults::FaultPlan::from_json(field(json, "faults")?)
-        .map_err(|e| format!("checkpoint fault plan: {e}"))?;
+        .map_err(|e| format!("fault plan: {e}"))?;
     Ok(SimulationConfig {
         devs: u64_field(json, "devs")? as usize,
         binary_mix: binary_mix_from_json(field(json, "binary_mix")?)?,
@@ -511,7 +532,7 @@ pub fn config_from_json(json: &Json) -> Result<SimulationConfig, String> {
                 Some(
                     payload
                         .as_u64()
-                        .ok_or("checkpoint field 'payload_bytes' is not an unsigned integer")?
+                        .ok_or("field 'payload_bytes' is not an unsigned integer")?
                         as u32,
                 )
             },
@@ -530,6 +551,8 @@ pub fn config_from_json(json: &Json) -> Result<SimulationConfig, String> {
         admin_script,
         telemetry: telemetry_from_json(field(json, "telemetry")?)?,
         faults,
+        honeypots: u64_field(json, "honeypots")? as u16,
+        backup_cncs: u64_field(json, "backup_cncs")? as u16,
         seed: u64_field(json, "seed")?,
     })
 }

@@ -199,6 +199,17 @@ pub struct SimulationConfig {
     /// crashes, C&C outages). Empty by default, which is a strict no-op:
     /// an empty plan schedules nothing and perturbs no RNG stream.
     pub faults: faults::FaultPlan,
+    /// Honeypot nodes attached alongside the Devs: they expose telnet,
+    /// are included in the scanned target set, and feed every scanner
+    /// that touches them into the simulator-global blocklist. 0 (the
+    /// default) attaches none and changes nothing.
+    pub honeypots: u16,
+    /// Backup C&C hosts attached on the core fabric. Their addresses are
+    /// compiled into the served bot binaries as a fallback chain: bots
+    /// rotate to the next host after repeated connect failures, which is
+    /// what lets the botnet ride out a C&C takedown. 0 (the default)
+    /// attaches none and changes nothing.
+    pub backup_cncs: u16,
     /// RNG seed.
     pub seed: u64,
 }
@@ -229,6 +240,8 @@ impl Default for SimulationConfig {
             admin_script: Vec::new(),
             telemetry: netsim::TelemetryConfig::default(),
             faults: faults::FaultPlan::default(),
+            honeypots: 0,
+            backup_cncs: 0,
             seed: 42,
         }
     }
@@ -447,6 +460,19 @@ impl SimulationBuilder {
     /// Fault-injection plan (see the `faults` crate).
     pub fn faults(mut self, plan: faults::FaultPlan) -> Self {
         self.config.faults = plan;
+        self
+    }
+
+    /// Number of honeypot nodes to attach (0 = none).
+    pub fn honeypots(mut self, n: u16) -> Self {
+        self.config.honeypots = n;
+        self
+    }
+
+    /// Number of backup C&C hosts whose addresses are compiled into the
+    /// bot binaries as a takedown fallback chain (0 = none).
+    pub fn backup_cncs(mut self, n: u16) -> Self {
+        self.config.backup_cncs = n;
         self
     }
 

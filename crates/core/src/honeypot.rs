@@ -1,0 +1,70 @@
+//! Honeypot nodes: the attract-and-blocklist defense.
+//!
+//! A honeypot is a node that looks exactly like a vulnerable Dev — it
+//! answers on the telnet port and sits in the scanned address space — but
+//! runs no daemon worth exploiting. Every source that touches it is, by
+//! construction, scanning for victims, so the honeypot feeds that address
+//! into the simulator-global blocklist
+//! ([`netsim::Simulator::blocklist_insert`]). The list only bites where a
+//! [`netsim::FilterRule::Blocklist`] rule is deployed (scenario defenses
+//! push one onto the fabric node), so honeypots alone are a strict
+//! observer.
+
+use netsim::{Application, Category, Ctx, ForkMap, TcpEvent};
+use protocols::TELNET_PORT;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// The honeypot application: accepts telnet connections, records the
+/// source, blocklists it, and hangs up.
+#[derive(Debug, Clone, Default)]
+pub struct Honeypot {
+    /// Connections accepted over the honeypot's lifetime.
+    pub hits: u64,
+    /// Distinct source addresses observed (each is blocklisted once).
+    pub unique_sources: BTreeSet<IpAddr>,
+}
+
+impl Honeypot {
+    /// Creates an idle honeypot.
+    pub fn new() -> Self {
+        Honeypot::default()
+    }
+}
+
+impl Application for Honeypot {
+    fn name(&self) -> &str {
+        "honeypot"
+    }
+
+    fn fork(&self, _map: &ForkMap) -> Option<Box<dyn Application>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_digest(&self, h: &mut netsim::StateHasher) {
+        h.write_u64(self.hits);
+        h.write_usize(self.unique_sources.len());
+        for src in &self.unique_sources {
+            h.write_ip(*src);
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.tcp_listen(TELNET_PORT)
+            .expect("telnet port is free on a fresh honeypot node");
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        if let TcpEvent::Incoming { conn, from } = event {
+            self.hits += 1;
+            let src = from.ip();
+            if self.unique_sources.insert(src) {
+                ctx.sim().blocklist_insert(src);
+                ctx.record_event(Category::Honeypot, || {
+                    format!("honeypot trapped scanner {src}; source blocklisted")
+                });
+            }
+            ctx.tcp_close(conn);
+        }
+    }
+}

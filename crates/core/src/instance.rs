@@ -318,6 +318,8 @@ pub struct Ddosim {
     dhcp_injector: Option<AppId>,
     scanner: Option<AppId>,
     churn_ctl: Option<AppId>,
+    honeypots: Vec<(NodeId, AppId, IpAddr)>,
+    backup_cncs: Vec<(NodeId, AppId, SocketAddr)>,
     memory_model: MemoryModel,
     fabric: Fabric,
     checkpoint_at: Option<Duration>,
@@ -447,6 +449,28 @@ impl Ddosim {
         let cnc_addr = SocketAddr::new(attacker_m.addr_v4, protocols::CNC_PORT);
         let stage1 = malware::stage1_command(attacker_m.addr_v4);
 
+        // ---- Backup C&C hosts (takedown resilience) ----
+        // Created before the file server so their addresses can be
+        // compiled into the served binaries as the fallback chain.
+        let mut backup_cncs = Vec::with_capacity(usize::from(config.backup_cncs));
+        for i in 0..usize::from(config.backup_cncs) {
+            let node = sim.add_node(format!("cnc-backup-{i}"));
+            let member = fabric.attach_core(
+                &mut sim,
+                node,
+                LinkConfig::new(100_000_000, Duration::from_millis(5))
+                    .with_queue_capacity(1 << 20),
+            );
+            let app = sim.install_app(node, Box::new(CncServer::new()));
+            let addr = SocketAddr::new(member.addr_v4, protocols::CNC_PORT);
+            telemetry.record_event(0, Some(node.index() as u32), Category::CncRegister, || {
+                format!("backup C&C {i} standing by at {addr}")
+            });
+            backup_cncs.push((node, app, addr));
+        }
+        let fallback_chain: Vec<SocketAddr> =
+            backup_cncs.iter().map(|&(_, _, addr)| addr).collect();
+
         // ---- Devs (component 2) ----
         let mut devs = Vec::with_capacity(config.devs);
         let connman_image = Arc::new(catalog::connman_image(config.arch));
@@ -551,10 +575,36 @@ impl Ddosim {
             });
         }
 
+        // ---- Honeypots (defense: attract-and-blocklist) ----
+        // Attached after the Devs so they never displace worm seed targets;
+        // the fixed link config draws nothing from `build_rng`, keeping
+        // `honeypots = 0` worlds bit-identical to pre-honeypot builds.
+        let mut honeypots = Vec::with_capacity(usize::from(config.honeypots));
+        for i in 0..usize::from(config.honeypots) {
+            let node = sim.add_node(format!("honeypot-{i}"));
+            let member = fabric.attach_dev(
+                &mut sim,
+                config.devs + i,
+                node,
+                LinkConfig::new(500_000, config.access_delay),
+            );
+            let app = sim.install_app(node, Box::new(crate::honeypot::Honeypot::new()));
+            telemetry.record_event(0, Some(node.index() as u32), Category::Honeypot, || {
+                format!("honeypot-{i} deployed at {}", member.addr_v4)
+            });
+            telnet_targets.push(member.addr_v4);
+            honeypots.push((node, app, member.addr_v4));
+        }
+
         // ---- File server: infection script + per-arch bot binaries ----
         let propagation = match config.recruitment {
             Recruitment::SelfPropagating { .. } => Some(malware::PropagationConfig {
-                targets: Arc::new(devs.iter().map(|d| d.addr_v4).collect()),
+                targets: Arc::new(
+                    devs.iter()
+                        .map(|d| d.addr_v4)
+                        .chain(honeypots.iter().map(|&(_, _, addr)| addr))
+                        .collect(),
+                ),
                 dictionary: mirai_dictionary(),
                 payload_command: stage1.clone(),
             }),
@@ -562,9 +612,10 @@ impl Ddosim {
         };
         let mut served = vec![malware::infection_script(attacker_m.addr_v4)];
         for arch in [tinyvm::Arch::X86_64, tinyvm::Arch::Arm7, tinyvm::Arch::Mips] {
-            served.push(malware::mirai_binary_file_with_propagation(
+            served.push(malware::mirai_binary_file_with_fallbacks(
                 arch,
                 cnc_addr,
+                fallback_chain.clone(),
                 config.flood_rate_bps,
                 config.attack_ramp,
                 propagation.clone(),
@@ -662,6 +713,12 @@ impl Ddosim {
         if let Some(len) = config.attack.payload_bytes {
             command.push_str(&format!(" {len}"));
         }
+        // Reflection vectors need a reflector address; the attacker's own
+        // malicious resolver doubles as the open resolver, so append it
+        // (the admin syntax accepts a lone trailing IP as the reflector).
+        if config.attack.vector.needs_reflector() {
+            command.push_str(&format!(" {}", attacker_m.addr_v4));
+        }
         let mut schedule = vec![(SimTime::ZERO + config.attack_at, command)];
         for (at, line) in &config.admin_script {
             schedule.push((SimTime::ZERO + *at, line.clone()));
@@ -703,6 +760,8 @@ impl Ddosim {
             dhcp_injector,
             scanner,
             churn_ctl,
+            honeypots,
+            backup_cncs,
             memory_model: MemoryModel::default(),
             fabric,
             checkpoint_at: None,
@@ -940,6 +999,41 @@ impl Ddosim {
             .unwrap_or(0)
     }
 
+    /// Honeypot nodes (empty unless [`SimulationConfig::honeypots`] > 0):
+    /// node, trap app, and address of each.
+    pub fn honeypots(&self) -> &[(NodeId, AppId, IpAddr)] {
+        &self.honeypots
+    }
+
+    /// Total telnet connections trapped across all honeypots.
+    pub fn honeypot_hits(&self) -> u64 {
+        self.honeypots
+            .iter()
+            .filter_map(|&(_, app, _)| {
+                self.sim
+                    .app_ref::<crate::honeypot::Honeypot>(app)
+                    .map(|h| h.hits)
+            })
+            .sum()
+    }
+
+    /// Backup C&C hosts (empty unless [`SimulationConfig::backup_cncs`]
+    /// > 0): node, server app, and listen address of each.
+    pub fn backup_cncs(&self) -> &[(NodeId, AppId, SocketAddr)] {
+        &self.backup_cncs
+    }
+
+    /// Bots currently registered across the backup C&C hosts — the
+    /// headline takedown-resilience metric.
+    pub fn backup_connected_bots(&self) -> usize {
+        self.backup_cncs
+            .iter()
+            .filter_map(|&(_, app, _)| {
+                self.sim.app_ref::<CncServer>(app).map(CncServer::bot_count)
+            })
+            .sum()
+    }
+
     /// Runs until `t` of simulated time.
     pub fn run_until(&mut self, t: Duration) {
         self.sim.run_until(SimTime::ZERO + t);
@@ -949,7 +1043,7 @@ impl Ddosim {
     /// own layers (event queue, nodes, links, Wi-Fi, TCP, RNG streams,
     /// stats, apps — the latter covering the bot FSMs, C&C registry,
     /// scanners, sinks, and controllers) plus the container runtime.
-    fn state_digests(&self) -> Vec<(String, u64)> {
+    pub fn state_digests(&self) -> Vec<(String, u64)> {
         let mut digests: Vec<(String, u64)> = self
             .sim
             .state_digests()
@@ -1246,6 +1340,8 @@ impl Ddosim {
             dhcp_injector: self.dhcp_injector,
             scanner: self.scanner,
             churn_ctl: self.churn_ctl,
+            honeypots: self.honeypots.clone(),
+            backup_cncs: self.backup_cncs.clone(),
             memory_model: self.memory_model,
             fabric: self.fabric.clone(),
             checkpoint_at: self.checkpoint_at,

@@ -31,6 +31,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod experiment;
+pub mod honeypot;
 pub mod instance;
 pub mod metrics;
 pub mod reboot;
@@ -45,7 +46,8 @@ pub use config::{
     SimulationConfig, TopologyKind,
 };
 pub use experiment::{run_configs, run_suffixes, run_suffixes_traced, try_run_configs, SuffixOutcome};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FAULT_PLAN_SCHEMA};
+pub use honeypot::Honeypot;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, PlanError, FAULT_PLAN_SCHEMA};
 pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};
 pub use metrics::{bytes_to_gb, MemoryModel, TServerSink};
 pub use reboot::RebootController;

@@ -5,8 +5,8 @@
 //! which Eq. 2's *average received data rate* is computed, and counts flood
 //! packets via their markers.
 
-use netsim::{Application, Ctx, Packet, SimTime};
-use protocols::FloodMarker;
+use netsim::{Application, Ctx, Packet, SimTime, TcpEvent};
+use protocols::{DnsMessage, FloodMarker};
 use std::time::Duration;
 
 const TIMER_SECOND: u64 = 1;
@@ -24,6 +24,12 @@ pub struct TServerSink {
     pub flood_bytes: u64,
     /// Time of the first flood packet, if any.
     pub first_flood_at: Option<SimTime>,
+    /// Reflected DNS answers received (the amplification vector: TServer
+    /// never queries anyone, so every DNS response landing here was
+    /// bounced off a resolver by a forged query).
+    pub amp_packets: u64,
+    /// Wire bytes of reflected DNS answers.
+    pub amp_bytes: u64,
     bound_port: u16,
 }
 
@@ -70,6 +76,8 @@ impl Application for TServerSink {
             flood_packets: self.flood_packets,
             flood_bytes: self.flood_bytes,
             first_flood_at: self.first_flood_at,
+            amp_packets: self.amp_packets,
+            amp_bytes: self.amp_bytes,
             bound_port: self.bound_port,
         }))
     }
@@ -89,11 +97,15 @@ impl Application for TServerSink {
                 h.write_u64(t.as_nanos());
             }
         }
+        h.write_u64(self.amp_packets);
+        h.write_u64(self.amp_bytes);
         h.write_u32(u32::from(self.bound_port));
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx.udp_bind(self.bound_port);
+        // Stream floods (HTTP GET) arrive over TCP on the same port.
+        let _ = ctx.tcp_listen(self.bound_port);
         ctx.set_timer(Duration::from_secs(1), TIMER_SECOND);
     }
 
@@ -114,6 +126,29 @@ impl Application for TServerSink {
             self.flood_bytes += u64::from(packet.wire_bytes());
             if self.first_flood_at.is_none() {
                 self.first_flood_at = Some(ctx.now());
+            }
+        } else if matches!(
+            packet.payload.get::<DnsMessage>(),
+            Some(DnsMessage::Response { .. })
+        ) {
+            self.amp_packets += 1;
+            self.amp_bytes += u64::from(packet.wire_bytes());
+            if self.first_flood_at.is_none() {
+                self.first_flood_at = Some(ctx.now());
+            }
+        }
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        if let TcpEvent::Data { payload, bytes, .. } = event {
+            if payload.get::<FloodMarker>().is_some() {
+                // Count the stream request plus its TCP/IP framing so the
+                // flood byte metric is comparable across vectors.
+                self.flood_packets += 1;
+                self.flood_bytes += u64::from(bytes + 40);
+                if self.first_flood_at.is_none() {
+                    self.first_flood_at = Some(ctx.now());
+                }
             }
         }
     }

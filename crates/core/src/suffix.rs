@@ -10,6 +10,7 @@
 
 use crate::config::SimulationConfig;
 use djson::{FromJson, Json, ToJson};
+use faults::{check_schema, reject_unknown_fields, PlanError};
 use std::time::Duration;
 
 /// Schema tag written into every serialized suffix plan.
@@ -79,7 +80,7 @@ impl SuffixSpec {
     fn from_json(json: &Json) -> Result<SuffixSpec, String> {
         let admin_json = field(json, "admin_lines")?
             .as_array()
-            .ok_or("suffix field 'admin_lines' is not an array")?;
+            .ok_or("field 'admin_lines' is not an array")?;
         let mut admin_lines = Vec::with_capacity(admin_json.len());
         for entry in admin_json {
             admin_lines.push((
@@ -92,13 +93,13 @@ impl SuffixSpec {
             name: str_field(json, "name")?.to_owned(),
             fork_seed: u64_field(json, "fork_seed")?,
             faults: faults::FaultPlan::from_json(field(json, "faults")?)
-                .map_err(|e| format!("suffix fault plan: {e}"))?,
+                .map_err(|e| format!("fault plan: {e}"))?,
             admin_lines,
             horizon: if horizon.is_null() {
                 None
             } else {
                 Some(Duration::from_nanos(horizon.as_u64().ok_or(
-                    "suffix field 'horizon_nanos' is not an unsigned integer",
+                    "field 'horizon_nanos' is not an unsigned integer",
                 )?))
             },
         })
@@ -143,30 +144,51 @@ impl SuffixPlan {
     /// # Errors
     ///
     /// Returns a message describing exactly what is wrong: invalid JSON,
-    /// a missing or mistyped field, or an unknown schema tag. Never
-    /// panics on corrupted or truncated input.
+    /// a missing, mistyped, or unknown field, or an unknown schema tag.
+    /// Never panics on corrupted or truncated input.
     pub fn parse(text: &str) -> Result<SuffixPlan, String> {
+        Self::parse_plan(text).map_err(String::from)
+    }
+
+    /// Like [`SuffixPlan::parse`], but surfaces the typed [`PlanError`]
+    /// shared by every schema-tagged plan document in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// A [`PlanError`] naming the first syntax, schema, unknown-field, or
+    /// shape problem.
+    pub fn parse_plan(text: &str) -> Result<SuffixPlan, PlanError> {
+        const DOC: &str = "suffix plan";
         let json = Json::parse(text)
-            .map_err(|e| format!("suffix plan is not valid JSON ({e})"))?;
-        let schema = str_field(&json, "schema")?;
-        if schema != SUFFIX_SCHEMA {
-            return Err(format!(
-                "suffix plan schema is '{schema}', expected '{SUFFIX_SCHEMA}'"
-            ));
-        }
-        let fork_at = Duration::from_nanos(u64_field(&json, "fork_at_nanos")?);
-        let suffixes_json = field(&json, "suffixes")?
+            .map_err(|e| PlanError::syntax(DOC, format!("is not valid JSON ({e})")))?;
+        check_schema(&json, DOC, SUFFIX_SCHEMA)?;
+        reject_unknown_fields(
+            &json,
+            DOC,
+            "suffix plan",
+            &["schema", "fork_at_nanos", "suffixes", "config"],
+        )?;
+        let invalid = |m: String| PlanError::invalid(DOC, m);
+        let fork_at = Duration::from_nanos(u64_field(&json, "fork_at_nanos").map_err(invalid)?);
+        let suffixes_json = field(&json, "suffixes")
+            .map_err(invalid)?
             .as_array()
-            .ok_or("suffix plan field 'suffixes' is not an array")?;
+            .ok_or_else(|| PlanError::invalid(DOC, "field 'suffixes' is not an array"))?;
         let mut suffixes = Vec::with_capacity(suffixes_json.len());
-        for s in suffixes_json {
-            suffixes.push(SuffixSpec::from_json(s)?);
+        for (i, s) in suffixes_json.iter().enumerate() {
+            reject_unknown_fields(
+                s,
+                DOC,
+                &format!("suffix #{i}"),
+                &["name", "fork_seed", "faults", "admin_lines", "horizon_nanos"],
+            )?;
+            suffixes.push(SuffixSpec::from_json(s).map_err(invalid)?);
         }
-        let config_json = field(&json, "config")?;
+        let config_json = field(&json, "config").map_err(invalid)?;
         let config = if config_json.is_null() {
             None
         } else {
-            Some(crate::checkpoint::config_from_json(config_json)?)
+            Some(crate::checkpoint::config_from_json(config_json).map_err(invalid)?)
         };
         Ok(SuffixPlan {
             fork_at,
@@ -185,19 +207,19 @@ impl SuffixPlan {
 
 fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
     json.get(key)
-        .ok_or_else(|| format!("suffix plan is missing field '{key}'"))
+        .ok_or_else(|| format!("missing field '{key}'"))
 }
 
 fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
     field(json, key)?
         .as_u64()
-        .ok_or_else(|| format!("suffix plan field '{key}' is not an unsigned integer"))
+        .ok_or_else(|| format!("field '{key}' is not an unsigned integer"))
 }
 
 fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, String> {
     field(json, key)?
         .as_str()
-        .ok_or_else(|| format!("suffix plan field '{key}' is not a string"))
+        .ok_or_else(|| format!("field '{key}' is not a string"))
 }
 
 #[cfg(test)]

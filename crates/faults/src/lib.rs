@@ -16,6 +16,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod plan;
+
+pub use plan::{check_schema, reject_unknown_fields, PlanError};
+
 use djson::{FromJson, Json, JsonError, ToJson};
 use std::time::Duration;
 
@@ -275,18 +279,41 @@ impl FaultPlan {
         Ok(())
     }
 
-    /// Parses a plan from its djson text, checking the schema tag and
-    /// validating field ranges.
+    /// Field names a fault object may carry (see [`FaultPlan::parse_plan`]).
+    pub const FAULT_FIELDS: &'static [&'static str] =
+        &["at_nanos", "at_secs", "kind", "node", "probability", "duration_secs"];
+
+    /// Parses a plan from its djson text through the shared plan-document
+    /// pipeline: syntax, schema tag, unknown-field rejection at every
+    /// object level, then field-range validation.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`PlanError`] naming the first problem.
+    pub fn parse_plan(text: &str) -> Result<Self, PlanError> {
+        const DOC: &str = "fault plan";
+        let json = Json::parse(text).map_err(|e| PlanError::syntax(DOC, e))?;
+        plan::check_schema(&json, DOC, FAULT_PLAN_SCHEMA)?;
+        plan::reject_unknown_fields(&json, DOC, "fault plan", &["schema", "seed", "faults"])?;
+        if let Some(faults) = json.get("faults").and_then(Json::as_array) {
+            for (i, f) in faults.iter().enumerate() {
+                plan::reject_unknown_fields(f, DOC, &format!("fault #{i}"), Self::FAULT_FIELDS)?;
+            }
+        }
+        let plan = FaultPlan::from_json(&json).map_err(|e| PlanError::syntax(DOC, e))?;
+        plan.validate().map_err(|m| PlanError::invalid(DOC, m))?;
+        Ok(plan)
+    }
+
+    /// Parses a plan, stringifying any [`PlanError`] (the historical
+    /// `Result<_, String>` surface most call sites use).
     ///
     /// # Errors
     ///
     /// Returns a message describing the first syntax, schema, or range
     /// problem.
     pub fn parse_str(text: &str) -> Result<Self, String> {
-        let json = Json::parse(text).map_err(|e| format!("fault plan: {e}"))?;
-        let plan = FaultPlan::from_json(&json).map_err(|e| format!("fault plan: {e}"))?;
-        plan.validate()?;
-        Ok(plan)
+        Self::parse_plan(text).map_err(String::from)
     }
 
     /// Serializes the plan as a pretty-printed, schema-tagged document.
@@ -433,6 +460,22 @@ mod tests {
             r#"{{"schema":"{FAULT_PLAN_SCHEMA}","faults":[{{"at_secs":1,"kind":"link_down"}}]}}"#
         );
         assert!(FaultPlan::parse_str(&no_node).is_err(), "missing node");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let top = format!(r#"{{"schema":"{FAULT_PLAN_SCHEMA}","faults":[],"extra":1}}"#);
+        assert!(FaultPlan::parse_str(&top)
+            .expect_err("top-level")
+            .contains("unknown field 'extra' in fault plan"));
+        let nested = format!(
+            r#"{{"schema":"{FAULT_PLAN_SCHEMA}","faults":[
+                {{"at_secs":1,"kind":"link_down","node":"dev-0","oops":true}}
+            ]}}"#
+        );
+        assert!(FaultPlan::parse_str(&nested)
+            .expect_err("per-fault")
+            .contains("unknown field 'oops' in fault #0"));
     }
 
     #[test]

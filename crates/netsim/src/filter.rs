@@ -1,0 +1,294 @@
+//! Structured, forkable filter rules — the schedulable defense layer.
+//!
+//! The original [`crate::IngressFilter`] is an opaque boxed closure: great
+//! for ad-hoc experiments, but it cannot be forked (deep-cloned) or folded
+//! into checkpoint digests. Scenario-deployed defenses instead use
+//! [`FilterRule`]s: plain data the simulator owns, applies on every packet
+//! arrival, clones on fork, and digests per layer (`netsim.filters`).
+//!
+//! Three rule kinds cover the defenses in `ddosim.scenario/1`:
+//!
+//! * [`FilterRule::RateLimit`] — per-source token buckets, the structured
+//!   port of `analysis::mitigation::RateLimiter` (same refill and cost
+//!   semantics, byte-for-byte).
+//! * [`FilterRule::EgressBlock`] — ISP-style egress filtering: a router
+//!   drops traffic toward a victim address (optionally one port).
+//! * [`FilterRule::Blocklist`] — drops packets whose *source* is on the
+//!   simulator-global blocklist, which honeypot nodes feed at runtime.
+
+use crate::digest::StateHasher;
+use crate::packet::Packet;
+use crate::sim::FilterVerdict;
+use crate::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+/// Token-bucket state for one source address inside a
+/// [`FilterRule::RateLimit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucket {
+    /// Bytes currently available.
+    pub tokens: f64,
+    /// Instant of the last refill.
+    pub last: SimTime,
+}
+
+/// One structured filter rule. Plain data: `Clone` gives fork support and
+/// the digest below pins it into the `netsim.filters` checkpoint layer.
+#[derive(Debug, Clone)]
+pub enum FilterRule {
+    /// Per-source token-bucket rate limiting. A packet spends
+    /// `wire_bytes()` tokens from its source's bucket; buckets refill at
+    /// `rate_bps / 8` bytes per second up to `burst_bytes`.
+    RateLimit {
+        /// Sustained rate in bits per second. Zero admits nothing beyond
+        /// the initial burst.
+        rate_bps: u64,
+        /// Bucket capacity in bytes (also the initial fill).
+        burst_bytes: u64,
+        /// Live per-source buckets (keyed and digested in address order).
+        buckets: BTreeMap<IpAddr, TokenBucket>,
+    },
+    /// Drop every packet destined to `dst` (optionally only one `port`).
+    /// Deployed on router nodes this is ISP egress filtering: attack
+    /// traffic dies at the provider edge instead of the victim's link.
+    EgressBlock {
+        /// Victim address the filter protects.
+        dst: IpAddr,
+        /// Restrict the block to one destination port (`None` = all).
+        port: Option<u16>,
+    },
+    /// Drop packets whose *source* address is on the simulator-global
+    /// blocklist (see [`crate::Simulator::blocklist_insert`]); honeypots
+    /// feed that list as scanners touch them.
+    Blocklist,
+}
+
+impl FilterRule {
+    fn verdict(
+        &mut self,
+        packet: &Packet,
+        now: SimTime,
+        blocklist: &BTreeSet<IpAddr>,
+    ) -> FilterVerdict {
+        match self {
+            FilterRule::RateLimit { rate_bps, burst_bytes, buckets } => {
+                let burst = *burst_bytes as f64;
+                let bucket = buckets
+                    .entry(packet.src.ip())
+                    .or_insert(TokenBucket { tokens: burst, last: now });
+                let elapsed = now.saturating_since(bucket.last).as_secs_f64();
+                let rate_bytes = *rate_bps as f64 / 8.0;
+                bucket.tokens = (bucket.tokens + elapsed * rate_bytes).min(burst);
+                bucket.last = now;
+                let cost = f64::from(packet.wire_bytes());
+                if bucket.tokens >= cost {
+                    bucket.tokens -= cost;
+                    FilterVerdict::Allow
+                } else {
+                    FilterVerdict::Drop
+                }
+            }
+            FilterRule::EgressBlock { dst, port } => {
+                let hit = packet.dst.ip() == *dst
+                    && port.map_or(true, |p| packet.dst.port() == p);
+                if hit {
+                    FilterVerdict::Drop
+                } else {
+                    FilterVerdict::Allow
+                }
+            }
+            FilterRule::Blocklist => {
+                if blocklist.contains(&packet.src.ip()) {
+                    FilterVerdict::Drop
+                } else {
+                    FilterVerdict::Allow
+                }
+            }
+        }
+    }
+
+    fn state_digest(&self, h: &mut StateHasher) {
+        match self {
+            FilterRule::RateLimit { rate_bps, burst_bytes, buckets } => {
+                h.write_bytes(&[1]);
+                h.write_u64(*rate_bps);
+                h.write_u64(*burst_bytes);
+                h.write_usize(buckets.len());
+                for (src, bucket) in buckets {
+                    h.write_ip(*src);
+                    h.write_f64(bucket.tokens);
+                    h.write_u64(bucket.last.as_nanos());
+                }
+            }
+            FilterRule::EgressBlock { dst, port } => {
+                h.write_bytes(&[2]);
+                h.write_ip(*dst);
+                match port {
+                    None => h.write_bool(false),
+                    Some(p) => {
+                        h.write_bool(true);
+                        h.write_u64(u64::from(*p));
+                    }
+                }
+            }
+            FilterRule::Blocklist => h.write_bytes(&[3]),
+        }
+    }
+}
+
+/// The ordered rule stack deployed on one node. Rules are consulted in
+/// push order; the first [`FilterVerdict::Drop`] wins.
+#[derive(Debug, Clone, Default)]
+pub struct FilterStack {
+    rules: Vec<FilterRule>,
+}
+
+impl FilterStack {
+    /// Appends a rule to the stack.
+    pub fn push(&mut self, rule: FilterRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules deployed.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the stack holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Runs the packet through every rule in push order.
+    pub fn verdict(
+        &mut self,
+        packet: &Packet,
+        now: SimTime,
+        blocklist: &BTreeSet<IpAddr>,
+    ) -> FilterVerdict {
+        for rule in &mut self.rules {
+            if rule.verdict(packet, now, blocklist) == FilterVerdict::Drop {
+                return FilterVerdict::Drop;
+            }
+        }
+        FilterVerdict::Allow
+    }
+
+    /// Folds the stack into a checkpoint digest.
+    pub fn state_digest(&self, h: &mut StateHasher) {
+        h.write_usize(self.rules.len());
+        for rule in &self.rules {
+            rule.state_digest(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Payload, TransportProto};
+    use std::net::SocketAddr;
+
+    fn pkt(src: &str, dst: &str, payload_bytes: u32) -> Packet {
+        Packet::new(
+            src.parse::<SocketAddr>().unwrap(),
+            dst.parse::<SocketAddr>().unwrap(),
+            TransportProto::Udp,
+            Payload::empty(),
+            28,
+            payload_bytes,
+        )
+    }
+
+    fn no_blocklist() -> BTreeSet<IpAddr> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn rate_limit_allows_burst_then_drops() {
+        let mut stack = FilterStack::default();
+        stack.push(FilterRule::RateLimit {
+            rate_bps: 8_000, // 1000 bytes/s
+            burst_bytes: 1_000,
+            buckets: BTreeMap::new(),
+        });
+        let bl = no_blocklist();
+        let t0 = SimTime::ZERO;
+        // 1000-byte burst admits two 500-byte packets, then drops.
+        let p = pkt("10.0.0.1:5000", "10.0.9.9:80", 472); // 472 + 28 header = 500 wire
+        assert_eq!(stack.verdict(&p, t0, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&p, t0, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&p, t0, &bl), FilterVerdict::Drop);
+        // After a second, 1000 bytes refilled: two more packets fit.
+        let t1 = SimTime::from_secs(1);
+        assert_eq!(stack.verdict(&p, t1, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&p, t1, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&p, t1, &bl), FilterVerdict::Drop);
+    }
+
+    #[test]
+    fn rate_limit_buckets_are_per_source() {
+        let mut stack = FilterStack::default();
+        stack.push(FilterRule::RateLimit {
+            rate_bps: 0,
+            burst_bytes: 500,
+            buckets: BTreeMap::new(),
+        });
+        let bl = no_blocklist();
+        let a = pkt("10.0.0.1:5000", "10.0.9.9:80", 472);
+        let b = pkt("10.0.0.2:5000", "10.0.9.9:80", 472);
+        assert_eq!(stack.verdict(&a, SimTime::ZERO, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&a, SimTime::ZERO, &bl), FilterVerdict::Drop);
+        // A different source still has its full burst.
+        assert_eq!(stack.verdict(&b, SimTime::ZERO, &bl), FilterVerdict::Allow);
+    }
+
+    #[test]
+    fn egress_block_matches_dst_and_port() {
+        let mut stack = FilterStack::default();
+        stack.push(FilterRule::EgressBlock { dst: "10.0.9.9".parse().unwrap(), port: Some(80) });
+        let bl = no_blocklist();
+        let hit = pkt("10.0.0.1:5000", "10.0.9.9:80", 100);
+        let other_port = pkt("10.0.0.1:5000", "10.0.9.9:53", 100);
+        let other_dst = pkt("10.0.0.1:5000", "10.0.9.8:80", 100);
+        assert_eq!(stack.verdict(&hit, SimTime::ZERO, &bl), FilterVerdict::Drop);
+        assert_eq!(stack.verdict(&other_port, SimTime::ZERO, &bl), FilterVerdict::Allow);
+        assert_eq!(stack.verdict(&other_dst, SimTime::ZERO, &bl), FilterVerdict::Allow);
+    }
+
+    #[test]
+    fn blocklist_rule_consults_shared_set() {
+        let mut stack = FilterStack::default();
+        stack.push(FilterRule::Blocklist);
+        let mut bl = no_blocklist();
+        let p = pkt("10.0.0.1:5000", "10.0.9.9:80", 100);
+        assert_eq!(stack.verdict(&p, SimTime::ZERO, &bl), FilterVerdict::Allow);
+        bl.insert("10.0.0.1".parse().unwrap());
+        assert_eq!(stack.verdict(&p, SimTime::ZERO, &bl), FilterVerdict::Drop);
+    }
+
+    #[test]
+    fn digest_tracks_bucket_state() {
+        let mut stack = FilterStack::default();
+        stack.push(FilterRule::RateLimit {
+            rate_bps: 8_000,
+            burst_bytes: 1_000,
+            buckets: BTreeMap::new(),
+        });
+        let before = {
+            let mut h = StateHasher::new();
+            stack.state_digest(&mut h);
+            h.finish()
+        };
+        let bl = no_blocklist();
+        let p = pkt("10.0.0.1:5000", "10.0.9.9:80", 100);
+        stack.verdict(&p, SimTime::ZERO, &bl);
+        let after = {
+            let mut h = StateHasher::new();
+            stack.state_digest(&mut h);
+            h.finish()
+        };
+        assert_ne!(before, after, "spending tokens must change the digest");
+    }
+}

@@ -62,6 +62,7 @@ pub mod app;
 pub mod digest;
 pub mod equeue;
 pub mod fastmap;
+pub mod filter;
 pub mod fork;
 pub mod ids;
 pub mod link;
@@ -78,6 +79,7 @@ pub use app::{Application, NullApp};
 pub use digest::StateHasher;
 pub use equeue::{EventQueue, ReferenceQueue, TimeOrderedQueue};
 pub use fastmap::{FastBuildHasher, FastMap, FastSet};
+pub use filter::{FilterRule, FilterStack, TokenBucket};
 pub use fork::{ForkClone, ForkMap, ForkableCall, ForkableFn};
 pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 pub use link::LinkConfig;

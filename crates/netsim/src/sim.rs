@@ -6,6 +6,7 @@ use std::any::Any;
 use crate::digest::StateHasher;
 use crate::equeue::{EventQueue, TimeOrderedQueue};
 use crate::fastmap::FastMap;
+use crate::filter::{FilterRule, FilterStack};
 use crate::fork::{ForkClone, ForkMap, ForkableCall, ForkableFn};
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use crate::link::{LinkConfig, P2pLink};
@@ -17,6 +18,7 @@ use crate::time::{tx_delay, SimTime};
 use crate::wifi::{WifiChannel, WifiConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
@@ -224,6 +226,13 @@ pub struct Simulator {
     stop_requested: bool,
     buffered_now: u64,
     filters: FastMap<NodeId, IngressFilter>,
+    /// Structured (forkable, digestible) defense rules per node, applied
+    /// after any opaque ingress filter. Kept ordered so the
+    /// `netsim.filters` digest layer walks nodes deterministically.
+    node_filters: BTreeMap<NodeId, FilterStack>,
+    /// Simulator-global source blocklist enforced by
+    /// [`FilterRule::Blocklist`] rules; honeypot applications feed it.
+    blocklist: BTreeSet<IpAddr>,
 }
 
 impl fmt::Debug for Simulator {
@@ -263,6 +272,8 @@ impl Simulator {
             stop_requested: false,
             buffered_now: 0,
             filters: FastMap::default(),
+            node_filters: BTreeMap::new(),
+            blocklist: BTreeSet::new(),
         }
     }
 
@@ -284,6 +295,42 @@ impl Simulator {
     /// Removes the node's ingress filter.
     pub fn clear_ingress_filter(&mut self, node: NodeId) {
         self.filters.remove(&node);
+    }
+
+    /// Appends a structured filter rule to the node's defense stack.
+    /// Unlike [`Simulator::set_ingress_filter`] closures, structured rules
+    /// are plain data: they survive [`Simulator::fork`] and fold into the
+    /// `netsim.filters` checkpoint digest layer. Rules run in push order
+    /// after any opaque filter; the first drop wins.
+    pub fn push_node_filter(&mut self, node: NodeId, rule: FilterRule) {
+        self.node_filters.entry(node).or_default().push(rule);
+    }
+
+    /// Removes every structured filter rule from the node.
+    pub fn clear_node_filters(&mut self, node: NodeId) {
+        self.node_filters.remove(&node);
+    }
+
+    /// Number of structured filter rules deployed on the node.
+    pub fn node_filter_count(&self, node: NodeId) -> usize {
+        self.node_filters.get(&node).map_or(0, FilterStack::len)
+    }
+
+    /// Adds an address to the simulator-global source blocklist enforced
+    /// by [`FilterRule::Blocklist`] rules. Returns `true` if the address
+    /// was newly inserted.
+    pub fn blocklist_insert(&mut self, addr: IpAddr) -> bool {
+        self.blocklist.insert(addr)
+    }
+
+    /// Whether an address is on the global blocklist.
+    pub fn blocklist_contains(&self, addr: IpAddr) -> bool {
+        self.blocklist.contains(&addr)
+    }
+
+    /// Number of addresses on the global blocklist.
+    pub fn blocklist_len(&self) -> usize {
+        self.blocklist.len()
     }
 
     /// The current simulated time.
@@ -963,6 +1010,21 @@ impl Simulator {
         }
         layers.push(("apps", h.finish()));
 
+        // Structured defense rules and the global blocklist. Opaque
+        // closure filters are intentionally absent: worlds that must
+        // checkpoint or fork use structured rules only.
+        let mut h = StateHasher::new();
+        h.write_usize(self.node_filters.len());
+        for (node, stack) in &self.node_filters {
+            h.write_usize(node.index());
+            stack.state_digest(&mut h);
+        }
+        h.write_usize(self.blocklist.len());
+        for addr in &self.blocklist {
+            h.write_ip(*addr);
+        }
+        layers.push(("netsim.filters", h.finish()));
+
         layers
     }
 
@@ -1043,6 +1105,8 @@ impl Simulator {
             stop_requested: self.stop_requested,
             buffered_now: self.buffered_now,
             filters: FastMap::default(),
+            node_filters: self.node_filters.clone(),
+            blocklist: self.blocklist.clone(),
         })
     }
 
@@ -1540,6 +1604,12 @@ impl Simulator {
         }
         if let Some(filter) = self.filters.get_mut(&node) {
             if filter(&packet, self.now) == FilterVerdict::Drop {
+                self.drop_packet(DropReason::Filtered, node, &packet);
+                return;
+            }
+        }
+        if let Some(stack) = self.node_filters.get_mut(&node) {
+            if stack.verdict(&packet, self.now, &self.blocklist) == FilterVerdict::Drop {
                 self.drop_packet(DropReason::Filtered, node, &packet);
                 return;
             }

@@ -39,11 +39,19 @@ pub enum AttackVector {
     /// DNS water-torture flood (randomized-subdomain queries, usually
     /// bounced off resolvers at the victim's authoritative server).
     Dns,
+    /// HTTP GET flood: persistent TCP connections to the target with a
+    /// request sent per pacing tick (a layer-7 flood over the tcp-lite
+    /// stack, not raw forged packets).
+    Http,
+    /// DNS amplification: bots forge the victim's address as the query
+    /// source and aim small queries at an open resolver (the command's
+    /// `reflector`), which answers the victim with much larger records.
+    DnsAmp,
 }
 
 impl AttackVector {
     /// All supported vectors.
-    pub const ALL: [AttackVector; 7] = [
+    pub const ALL: [AttackVector; 9] = [
         AttackVector::UdpPlain,
         AttackVector::Udp,
         AttackVector::Syn,
@@ -51,6 +59,8 @@ impl AttackVector {
         AttackVector::GreIp,
         AttackVector::Vse,
         AttackVector::Dns,
+        AttackVector::Http,
+        AttackVector::DnsAmp,
     ];
 
     /// Default payload bytes per packet for this vector (Mirai defaults).
@@ -63,6 +73,8 @@ impl AttackVector {
             AttackVector::GreIp => 512,
             AttackVector::Vse => 25,
             AttackVector::Dns => 38,
+            AttackVector::Http => 128,
+            AttackVector::DnsAmp => 38,
         }
     }
 
@@ -74,8 +86,20 @@ impl AttackVector {
         }
     }
 
+    /// Whether the flood runs over the reliable stream transport (HTTP
+    /// GET floods) rather than raw forged packets.
+    pub fn is_stream(self) -> bool {
+        matches!(self, AttackVector::Http)
+    }
+
+    /// Whether the command needs a reflector address
+    /// ([`AttackCommand::reflector`]) to be meaningful.
+    pub fn needs_reflector(self) -> bool {
+        matches!(self, AttackVector::DnsAmp)
+    }
+
     /// Parses the Mirai command name (`udpplain`, `udp`, `syn`, `ack`,
-    /// `greip`).
+    /// `greip`, `vse`, `dns`, `http`, `dnsamp`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "udpplain" => Some(AttackVector::UdpPlain),
@@ -85,6 +109,8 @@ impl AttackVector {
             "greip" => Some(AttackVector::GreIp),
             "vse" => Some(AttackVector::Vse),
             "dns" => Some(AttackVector::Dns),
+            "http" => Some(AttackVector::Http),
+            "dnsamp" => Some(AttackVector::DnsAmp),
             _ => None,
         }
     }
@@ -100,6 +126,8 @@ impl fmt::Display for AttackVector {
             AttackVector::GreIp => "greip",
             AttackVector::Vse => "vse",
             AttackVector::Dns => "dns",
+            AttackVector::Http => "http",
+            AttackVector::DnsAmp => "dnsamp",
         };
         f.write_str(s)
     }
@@ -118,6 +146,9 @@ pub struct AttackCommand {
     pub duration_secs: u32,
     /// Payload bytes per packet (`None` = vector default).
     pub payload_bytes: Option<u32>,
+    /// Open resolver bounced off by reflection vectors
+    /// ([`AttackVector::DnsAmp`]); ignored by direct floods.
+    pub reflector: Option<IpAddr>,
 }
 
 impl AttackCommand {
@@ -193,7 +224,15 @@ mod tests {
         for v in AttackVector::ALL {
             assert_eq!(AttackVector::parse(&v.to_string()), Some(v));
         }
-        assert_eq!(AttackVector::parse("http"), None);
+        assert_eq!(AttackVector::parse("teardrop"), None);
+    }
+
+    #[test]
+    fn vector_traits_classify_new_vectors() {
+        assert!(AttackVector::Http.is_stream());
+        assert!(!AttackVector::UdpPlain.is_stream());
+        assert!(AttackVector::DnsAmp.needs_reflector());
+        assert!(!AttackVector::Dns.needs_reflector());
     }
 
     #[test]
@@ -220,6 +259,7 @@ mod tests {
             port: 80,
             duration_secs: 100,
             payload_bytes: None,
+            reflector: None,
         };
         assert_eq!(cmd.duration(), Duration::from_secs(100));
         assert_eq!(cmd.effective_payload_bytes(), 512);
@@ -238,6 +278,7 @@ mod tests {
             port: 1,
             duration_secs: 1,
             payload_bytes: None,
+            reflector: None,
         })
         .wire_size());
     }

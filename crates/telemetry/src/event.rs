@@ -50,6 +50,11 @@ pub enum Category {
     LinkAdmin,
     /// The fault-injection layer executed a planned fault.
     Fault,
+    /// A scenario-scheduled defense was deployed or acted (rate limit,
+    /// egress filter, patch wave, C&C takedown).
+    Defense,
+    /// A honeypot observed a scanner and fed the blocklist.
+    Honeypot,
 }
 
 impl Category {
@@ -74,6 +79,8 @@ impl Category {
             Category::Phase => "phase",
             Category::LinkAdmin => "link_admin",
             Category::Fault => "fault",
+            Category::Defense => "defense",
+            Category::Honeypot => "honeypot",
         }
     }
 
@@ -98,6 +105,8 @@ impl Category {
             "phase" => Category::Phase,
             "link_admin" => Category::LinkAdmin,
             "fault" => Category::Fault,
+            "defense" => Category::Defense,
+            "honeypot" => Category::Honeypot,
             _ => return None,
         })
     }
@@ -192,6 +201,8 @@ mod tests {
             Category::Phase,
             Category::LinkAdmin,
             Category::Fault,
+            Category::Defense,
+            Category::Honeypot,
         ] {
             assert_eq!(Category::parse(cat.as_str()), Some(cat));
         }

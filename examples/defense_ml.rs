@@ -9,7 +9,7 @@ use analysis::{
     label_samples, train_test_split, BenignClient, FeatureExtractor, LogisticRegression, Metrics,
     TrainConfig,
 };
-use ddosim::{AttackSpec, SimulationBuilder};
+use ddosim::scenario::ScenarioPlan;
 use netsim::{LinkConfig, TraceKind, TraceRecord};
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -18,13 +18,13 @@ use std::rc::Rc;
 use std::time::Duration;
 
 fn main() -> Result<(), String> {
-    let mut instance = SimulationBuilder::new()
-        .devs(20)
-        .attack(AttackSpec::udp_plain(Duration::from_secs(60)))
-        .attack_at(Duration::from_secs(40))
-        .sim_time(Duration::from_secs(120))
-        .seed(31)
-        .build()?;
+    // The world (20 Devs, UDP-PLAIN flood at t=40s) lives in a checked-in
+    // scenario plan; this example layers benign traffic and a packet tap
+    // on top of it.
+    let text = std::fs::read_to_string("plans/defense_ml.scenario.json")
+        .map_err(|e| format!("reading plans/defense_ml.scenario.json: {e}"))?;
+    let plan = ScenarioPlan::parse(&text)?;
+    let mut instance = plan.build()?;
 
     let (tserver_node, tserver_v4) = instance.tserver();
     let attack_sources: HashSet<IpAddr> = instance.devs().iter().map(|d| d.addr_v4).collect();

@@ -126,6 +126,54 @@ PLAN
     run_traced "$trace_a"
     run_traced "$trace_b" --faults "$plan"
     $DDOSIM trace diff "$trace_a" "$trace_b"
+
+    # Scenario smoke: every checked-in adversary-vs-defense plan
+    # (ddosim.scenario/1) runs deterministically — same seed, byte-identical
+    # trace — with the JSON result captured for the metric assertions below.
+    sa=$work/scn-a.json
+    sb=$work/scn-b.json
+    for p in plans/*.scenario.json; do
+        name=$(basename "$p" .scenario.json)
+        $DDOSIM --scenario "$p" --json --record "$sa" > "$work/scn-$name.result" 2> /dev/null
+        $DDOSIM --scenario "$p" --record "$sb" > /dev/null 2>&1
+        $DDOSIM trace diff "$sa" "$sb"
+        mv "$sa" "$work/scn-$name.trace"
+    done
+
+    # A defense-free scenario is a strict no-op: the baseline plan's trace
+    # matches the same world built from plain command-line flags.
+    run_plain_baseline() {
+        $DDOSIM --devs 8 --seed 42 --sim-time 120 --attack-at 60 \
+            --vector udpplain --duration 40 --record "$sb" > /dev/null
+    }
+    run_plain_baseline
+    $DDOSIM trace diff "$work/scn-baseline.trace" "$sb"
+
+    # Each defense moves its headline metric against the no-defense
+    # baseline; each attack vector lands.
+    scn_field() { sed -n 's/^  "'"$2"'": \([0-9][0-9.]*\).*/\1/p' "$work/scn-$1.result" | head -1; }
+    flt_lt() { awk "BEGIN{exit !($1 < $2)}"; }
+    base_flood=$(scn_field baseline flood_packets_received)
+    base_rate=$(scn_field baseline avg_received_data_rate_kbps)
+    [ "$base_flood" -gt 1000 ]
+    # Rate limiting throttles the flood; egress filtering all but kills it.
+    [ "$(scn_field rate_limit flood_packets_received)" -lt $((base_flood / 2)) ]
+    [ "$(scn_field egress_filter flood_packets_received)" -lt $((base_flood / 4)) ]
+    # A patch rollout finished before the attack leaves no bots to command.
+    [ "$(scn_field patch_rollout bots_at_command)" -eq 0 ]
+    [ "$(scn_field layered_defense bots_at_command)" -eq 0 ]
+    # Seizing the only C&C orphans the botnet; with a backup in the
+    # fallback chain every bot re-homes to it instead.
+    [ "$(scn_field cnc_takedown_spof flood_packets_received)" -eq 0 ]
+    [ "$(grep -o 'rotating to fallback' "$work/scn-cnc_takedown.trace" | wc -l)" -ge 8 ]
+    # Rival malware that lands first locks the primary botnet out.
+    [ "$(scn_field rivalry bots_at_command)" -lt "$(scn_field baseline bots_at_command)" ]
+    # Honeypots trap at least one scanner under worm recruitment.
+    [ "$(grep -o 'honeypot trapped' "$work/scn-honeypot.trace" | wc -l)" -ge 1 ]
+    # DNS amplification beats the direct flood's data rate; the HTTP GET
+    # flood arrives as TCP stream data.
+    flt_lt "$base_rate" "$(scn_field dns_amplification avg_received_data_rate_kbps)"
+    [ "$(scn_field http_flood flood_packets_received)" -gt 0 ]
 }
 
 stage_checkpoint() {

@@ -16,6 +16,7 @@ pub use firmware;
 pub use malware;
 pub use netsim;
 pub use protocols;
+pub use scenario;
 pub use telemetry;
 pub use testbed;
 pub use tinyvm;

@@ -56,6 +56,13 @@ OPTIONS:
                               flight recorder splices onto the original prefix;
                               world-shaping flags (--devs, --seed, ...) are
                               rejected, output paths (--record, ...) are not
+    --scenario <FILE>         run a declarative adversary-vs-defense scenario
+                              (schema ddosim.scenario/1): one plan file composes
+                              the world, attack schedule, fault plan, defense
+                              deployments, and rival botnets; world-shaping
+                              flags are rejected (the plan owns the world),
+                              output flags (--record, --json, ...) and
+                              --suffixes still compose
     --suffixes <FILE>         run a scenario tree (schema ddosim.suffix/1):
                               the world runs once to the fork point, is
                               deep-cloned in memory per suffix, and the forks
@@ -101,6 +108,7 @@ struct RunOpts {
     checkpoint_at: Option<Duration>,
     checkpoint_out: Option<String>,
     resume_path: Option<String>,
+    scenario_path: Option<String>,
     suffixes_path: Option<String>,
     fork_at: Option<Duration>,
     /// First world-shaping flag seen, kept so a suffix plan with an
@@ -149,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut checkpoint_at: Option<Duration> = None;
     let mut checkpoint_out: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
     let mut suffixes_path: Option<String> = None;
     let mut fork_at: Option<Duration> = None;
     let mut world_flag: Option<String> = None;
@@ -286,6 +295,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?),
             "--resume" => resume_path = Some(value("--resume")?),
+            "--scenario" => scenario_path = Some(value("--scenario")?),
             "--suffixes" => suffixes_path = Some(value("--suffixes")?),
             "--fork-at" => {
                 let secs: f64 = value("--fork-at")?
@@ -308,6 +318,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                  configuration, telemetry included (output paths such as \
                  --record are still allowed)"
             ));
+        }
+    }
+    if scenario_path.is_some() {
+        if let Some(flag) = &world_flag {
+            return Err(format!(
+                "{flag} cannot be combined with --scenario: the scenario plan \
+                 composes the whole world (world, attack, faults, defenses, \
+                 rivals); output paths such as --record are still allowed"
+            ));
+        }
+        for (flag, set) in [
+            ("--resume", resume_path.is_some()),
+            ("--checkpoint-at", checkpoint_at.is_some()),
+        ] {
+            if set {
+                return Err(format!("{flag} cannot be combined with --scenario"));
+            }
         }
     }
     if fork_at.is_some() && suffixes_path.is_none() {
@@ -356,6 +383,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         checkpoint_at,
         checkpoint_out,
         resume_path,
+        scenario_path,
         suffixes_path,
         fork_at,
         world_flag,
@@ -398,12 +426,18 @@ fn suffix_record_path(base: &str, name: &str) -> String {
     }
 }
 
+/// Reads and strictly parses a `ddosim.scenario/1` plan file.
+fn load_scenario(path: &str) -> Result<ddosim::scenario::ScenarioPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(ddosim::scenario::ScenarioPlan::parse(&text)?)
+}
+
 /// Runs a scenario tree: one shared prefix to the fork point, then every
 /// suffix on an in-memory fork, fanned out across the worker pool.
 fn run_scenario_tree(opts: RunOpts) -> Result<(), String> {
     let RunOpts {
-        mut builder, json, telemetry, faults_path, record_out, suffixes_path, fork_at,
-        world_flag, ..
+        mut builder, json, telemetry, faults_path, record_out, scenario_path, suffixes_path,
+        fork_at, world_flag, ..
     } = opts;
     let path = suffixes_path.expect("checked by the caller");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -414,8 +448,14 @@ fn run_scenario_tree(opts: RunOpts) -> Result<(), String> {
     if plan.suffixes.is_empty() {
         return Err(format!("suffix plan {path} has no suffixes"));
     }
-    let mut world = match plan.config.take() {
-        Some(mut config) => {
+    let mut world = match (plan.config.take(), &scenario_path) {
+        (Some(_), Some(sp)) => {
+            return Err(format!(
+                "--scenario {sp} cannot be combined with a suffix plan that \
+                 embeds a configuration: exactly one of them must own the world"
+            ));
+        }
+        (Some(mut config), None) => {
             if let Some(flag) = world_flag {
                 return Err(format!(
                     "{flag} cannot be combined with --suffixes when the plan \
@@ -426,7 +466,8 @@ fn run_scenario_tree(opts: RunOpts) -> Result<(), String> {
             config.telemetry.record |= telemetry.record;
             ddosim::Ddosim::new(config)?
         }
-        None => {
+        (None, Some(sp)) => load_scenario(sp)?.build_with_telemetry(telemetry)?,
+        (None, None) => {
             if let Some(p) = faults_path {
                 let t =
                     std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))?;
@@ -483,21 +524,28 @@ fn run(opts: RunOpts) -> Result<(), String> {
     }
     let RunOpts {
         mut builder, json, telemetry, faults_path, record_out, capture_out, metrics_out,
-        checkpoint_at, checkpoint_out, resume_path, ..
+        checkpoint_at, checkpoint_out, resume_path, scenario_path, ..
     } = opts;
-    if let Some(path) = faults_path {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-        builder = builder.faults(ddosim::FaultPlan::parse_str(&text)?);
-    }
-    builder = builder.telemetry(telemetry);
-    if let Some(path) = &resume_path {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        builder = builder.resume_from(ddosim::Checkpoint::parse(&text)?);
-    }
-    if let Some(at) = checkpoint_at {
-        builder = builder.checkpoint_at(at);
-    }
-    let instance = builder.build()?;
+    let instance = if let Some(path) = &scenario_path {
+        // The plan owns the world (world flags were rejected at parse
+        // time); CLI telemetry is layered on top.
+        load_scenario(path)?.build_with_telemetry(telemetry)?
+    } else {
+        if let Some(path) = faults_path {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            builder = builder.faults(ddosim::FaultPlan::parse_str(&text)?);
+        }
+        builder = builder.telemetry(telemetry);
+        if let Some(path) = &resume_path {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            builder = builder.resume_from(ddosim::Checkpoint::parse(&text)?);
+        }
+        if let Some(at) = checkpoint_at {
+            builder = builder.checkpoint_at(at);
+        }
+        builder.build()?
+    };
     // Clones share the collectors, so the handle stays readable after
     // `try_run_to_completion` consumes the instance.
     let tele = instance.telemetry().clone();
@@ -688,6 +736,12 @@ mod tests {
             (&["--suffixes", "p.json", "--capture", "c.json"], "--capture"),
             (&["--suffixes", "p.json", "--metrics-interval", "1"], "--metrics-interval"),
             (&["--suffixes", "p.json", "--metrics-out", "m.json"], "--metrics-out"),
+            (&["--scenario", "p.json", "--devs", "10"], "--devs"),
+            (&["--scenario", "p.json", "--seed", "1"], "--seed"),
+            (&["--scenario", "p.json", "--faults", "f.json"], "--faults"),
+            (&["--scenario", "p.json", "--resume", "cp.json"], "--resume"),
+            (&["--scenario", "p.json", "--checkpoint-at", "10"], "--checkpoint-at"),
+            (&["--scenario"], "requires a value"),
         ];
         for (args, fragment) in table {
             match parse(args) {
@@ -796,6 +850,19 @@ mod tests {
         // uses them; run time rejects them otherwise.
         let opts = run_opts(&["--devs", "6", "--suffixes", "plan.json"]);
         assert_eq!(opts.world_flag.as_deref(), Some("--devs"));
+    }
+
+    #[test]
+    fn scenario_flag_parses_and_composes_with_outputs() {
+        // The plan file is only read at run time; parsing stores the path
+        // and keeps output flags and --suffixes composable.
+        let opts = run_opts(&["--scenario", "p.json", "--record", "t.json", "--json"]);
+        assert_eq!(opts.scenario_path.as_deref(), Some("p.json"));
+        assert_eq!(opts.record_out.as_deref(), Some("t.json"));
+        assert!(opts.json);
+        let opts = run_opts(&["--scenario", "p.json", "--suffixes", "s.json"]);
+        assert_eq!(opts.scenario_path.as_deref(), Some("p.json"));
+        assert_eq!(opts.suffixes_path.as_deref(), Some("s.json"));
     }
 
     #[test]
