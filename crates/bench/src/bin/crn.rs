@@ -1,0 +1,60 @@
+//! Measures the variance reduction from **common random numbers** (CRN)
+//! across the paper's paired comparisons: every paired experiment variant
+//! ([`ddosim_core::experiment::fig2_paired`] and friends) runs its
+//! baseline and treatment arms twice — once with both arms pinned to the
+//! same noise streams via [`ddosim_core::RngPlan::pinned`], once with
+//! independent seeds — and reports the sample variance of the
+//! per-replicate difference under each design.
+//!
+//! The headline column is `var ratio` = independent variance / paired
+//! variance: how many times fewer replicates the paired design needs for
+//! the same standard error on the treatment effect. Emits
+//! `results/crn.csv`.
+
+use ddosim_core::experiment::{
+    ablations_paired, fig2_paired, fig3_paired, infection_matrix_paired,
+};
+use ddosim_core::report::{fmt_f, Table};
+use ddosim_core::CrnComparison;
+
+fn main() {
+    let (devs, reps) = if ddosim_bench::quick_mode() { (10, 3) } else { (25, 10) };
+    println!("CRN variance sweep: devs={devs} × {reps} replicates per arm");
+
+    let sections: Vec<(&str, Vec<CrnComparison>)> = vec![
+        ("fig2 churn", fig2_paired(devs, reps, 4000)),
+        ("fig3 duration", fig3_paired(devs, &[60, 120, 180], reps, 4100)),
+        ("infection strategy", infection_matrix_paired(devs, reps, 4200)),
+        ("hardening ablations", ablations_paired(devs, reps, 4300)),
+    ];
+
+    let mut table = Table::new(
+        "CRN — paired vs independent difference variance",
+        &[
+            "experiment",
+            "treatment",
+            "base mean",
+            "treat mean",
+            "diff",
+            "paired var",
+            "indep var",
+            "var ratio",
+        ],
+    );
+    for (section, comparisons) in &sections {
+        for c in comparisons {
+            table.push_row(vec![
+                section.to_string(),
+                c.label.clone(),
+                fmt_f(c.baseline_mean, 2),
+                fmt_f(c.treatment_mean, 2),
+                fmt_f(c.diff_mean, 2),
+                fmt_f(c.paired_diff_var, 2),
+                fmt_f(c.independent_diff_var, 2),
+                fmt_f(c.variance_ratio, 1),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    ddosim_bench::write_artifact("crn.csv", &table.to_csv());
+}

@@ -556,11 +556,59 @@ fn scenario_gauge(cells: usize, devs_per_cell: usize, sim_secs: u64) -> djson::J
     ])
 }
 
+/// Sweep-engine cost: paired-CRN replicates of a small botnet world pushed
+/// through the streaming experiment runner
+/// ([`ddosim_core::try_run_configs_streamed`]) — the path every figure
+/// sweep, ablation, and scenario grid cell takes. Each row pins its RNG
+/// plan ([`ddosim_core::RngPlan::pinned`]) exactly as paired sweeps do, so
+/// the gauge covers seed derivation, world build, run, and streamed row
+/// delivery end to end. The gauge is completed rows per wall second; every
+/// row must succeed and be streamed exactly once.
+fn sweep_gauge(rows: usize, devs: usize, sim_secs: u64, reps: usize) -> djson::Json {
+    use ddosim_core::{AttackSpec, RngPlan, SimulationBuilder};
+    let configs: Vec<_> = (0..rows as u64)
+        .map(|r| {
+            let noise = 0xD05 + r;
+            SimulationBuilder::new()
+                .devs(devs)
+                .sim_time(Duration::from_secs(sim_secs))
+                .attack_at(Duration::from_secs(sim_secs / 3))
+                .attack(AttackSpec {
+                    vector: protocols::AttackVector::UdpPlain,
+                    duration: Duration::from_secs(sim_secs / 3),
+                    payload_bytes: None,
+                    port: 80,
+                })
+                .seed(noise)
+                .rng(RngPlan::pinned(noise))
+                .config()
+                .clone()
+        })
+        .collect();
+    let (_, rows_per_sec) = best_rate(reps, || {
+        let mut streamed = 0u64;
+        let outcomes = ddosim_core::try_run_configs_streamed(configs.clone(), |_, outcome| {
+            assert!(outcome.is_ok(), "bench sweep rows are valid configs");
+            streamed += 1;
+        });
+        assert_eq!(streamed as usize, outcomes.len(), "every row streams exactly once");
+        streamed
+    });
+    println!("sweep: {rows} rows x {devs} devs x {sim_secs}s sim | {rows_per_sec:.2} rows/s");
+    djson::Json::obj([
+        ("rows", djson::Json::U64(rows as u64)),
+        ("devs", djson::Json::U64(devs as u64)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("rows_per_sec", djson::Json::F64(rows_per_sec)),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
+}
+
 /// Maximum tolerated throughput loss before the gate fails (25%).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 7] = [
+const GAUGES: [(&str, &str); 8] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
@@ -568,6 +616,7 @@ const GAUGES: [(&str, &str); 7] = [
     ("checkpoint", "snapshots_per_sec"),
     ("fork", "branches_per_sec"),
     ("scenario", "packets_per_sec"),
+    ("sweep", "rows_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -667,6 +716,10 @@ fn main() -> std::process::ExitCode {
     let checkpoint = checkpoint_gauge(cells, devs_per_cell, scale_secs, reps);
     let fork = fork_gauge(cells, devs_per_cell, scale_secs, 8);
     let scenario = scenario_gauge(cells, devs_per_cell, scale_secs);
+    // Sweep rows are deliberately small worlds: the gauge tracks the
+    // runner's fan-out and streaming overhead, not one world's cost.
+    let (sweep_rows, sweep_devs, sweep_secs) = if smoke { (16, 6, 90) } else { (48, 10, 150) };
+    let sweep = sweep_gauge(sweep_rows, sweep_devs, sweep_secs, reps);
 
     let out = djson::Json::obj([
         ("schema", djson::Json::Str("ddosim.bench.netsim/1".into())),
@@ -678,6 +731,7 @@ fn main() -> std::process::ExitCode {
         ("checkpoint", checkpoint),
         ("fork", fork),
         ("scenario", scenario),
+        ("sweep", sweep),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -697,13 +751,14 @@ mod tests {
     use super::*;
 
     fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64) -> djson::Json {
-        snapshot_full(eq, sat, sim, scale, ck, 10.0, 3e6)
+        snapshot_full(eq, sat, sim, scale, ck, 10.0, 3e6, 20.0)
     }
 
     fn snapshot_with_fork(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64, fk: f64) -> djson::Json {
-        snapshot_full(eq, sat, sim, scale, ck, fk, 3e6)
+        snapshot_full(eq, sat, sim, scale, ck, fk, 3e6, 20.0)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn snapshot_full(
         eq: f64,
         sat: f64,
@@ -712,6 +767,7 @@ mod tests {
         ck: f64,
         fk: f64,
         sc: f64,
+        sw: f64,
     ) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
         let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
@@ -723,13 +779,22 @@ mod tests {
             ("checkpoint", djson::Json::obj([("snapshots_per_sec", djson::Json::F64(ck))])),
             ("fork", djson::Json::obj([("branches_per_sec", djson::Json::F64(fk))])),
             ("scenario", pps(sc)),
+            ("sweep", djson::Json::obj([("rows_per_sec", djson::Json::F64(sw))])),
         ])
     }
 
     #[test]
     fn a_scenario_regression_fails_the_gate() {
-        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6);
-        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 2e6); // scenario -33%
+        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0);
+        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 2e6, 20.0); // scenario -33%
+        let (lines, failed) = regressions(&base, &cur).expect("comparable");
+        assert!(failed, "{lines:?}");
+    }
+
+    #[test]
+    fn a_sweep_regression_fails_the_gate() {
+        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0);
+        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 12.0); // sweep -40%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed, "{lines:?}");
     }

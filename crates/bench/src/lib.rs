@@ -14,6 +14,7 @@
 //! | `recruitment` | memory-error vs credential-scanner baseline |
 //! | `defense` | §V-A — ML classifier on extracted traffic features |
 //! | `epidemic` | §V-A2 — SI-model fit of the measured infection curve |
+//! | `crn` | common-random-numbers paired-sweep variance-reduction table |
 //!
 //! Set `DDOSIM_QUICK=1` to shrink sweeps for smoke runs. Outputs land in
 //! `results/` as CSV and JSON next to a rendered text table.

@@ -474,8 +474,35 @@ pub fn config_to_json(c: &SimulationConfig) -> Json {
         ("faults", c.faults.to_json()),
         ("honeypots", Json::U64(u64::from(c.honeypots))),
         ("backup_cncs", Json::U64(u64::from(c.backup_cncs))),
+        ("rng", rng_to_json(c.rng)),
         ("seed", Json::U64(c.seed)),
     ])
+}
+
+fn rng_to_json(plan: crate::RngPlan) -> Json {
+    let stream = |s: Option<u64>| s.map(Json::U64).unwrap_or(Json::Null);
+    Json::obj([
+        ("world", stream(plan.world)),
+        ("event", stream(plan.event)),
+        ("fault", stream(plan.fault)),
+    ])
+}
+
+fn rng_from_json(json: &Json) -> Result<crate::RngPlan, String> {
+    let stream = |key: &str| -> Result<Option<u64>, String> {
+        match json.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("rng stream '{key}' is not an unsigned integer")),
+        }
+    };
+    Ok(crate::RngPlan {
+        world: stream("world")?,
+        event: stream("event")?,
+        fault: stream("fault")?,
+    })
 }
 
 /// Parses a serialized [`SimulationConfig`].
@@ -553,6 +580,12 @@ pub fn config_from_json(json: &Json) -> Result<SimulationConfig, String> {
         faults,
         honeypots: u64_field(json, "honeypots")? as u16,
         backup_cncs: u64_field(json, "backup_cncs")? as u16,
+        // Older checkpoints predate the RngPlan field; absence means the
+        // default (seed-derived) streams, which is exactly what they ran.
+        rng: match json.get("rng") {
+            Some(r) => rng_from_json(r)?,
+            None => crate::RngPlan::default(),
+        },
         seed: u64_field(json, "seed")?,
     })
 }
@@ -640,6 +673,46 @@ mod tests {
     #[test]
     fn default_config_round_trips() {
         roundtrip(SimulationConfig::default());
+    }
+
+    #[test]
+    fn pinned_rng_plan_round_trips() {
+        let c = SimulationConfig {
+            rng: crate::RngPlan::pinned(777),
+            ..SimulationConfig::default()
+        };
+        let text = config_to_json(&c).to_string_compact();
+        let back = config_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.rng, c.rng);
+        roundtrip(c);
+    }
+
+    #[test]
+    fn partial_rng_plan_round_trips() {
+        let c = SimulationConfig {
+            rng: crate::RngPlan {
+                world: Some(5),
+                event: None,
+                fault: None,
+            },
+            ..SimulationConfig::default()
+        };
+        let text = config_to_json(&c).to_string_compact();
+        let back = config_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.rng, c.rng);
+        roundtrip(c);
+    }
+
+    #[test]
+    fn missing_rng_field_defaults() {
+        // Checkpoints written before RngPlan existed carry no "rng" key;
+        // they must parse to the default (seed-derived) plan.
+        let mut json = config_to_json(&SimulationConfig::default());
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "rng");
+        }
+        let back = config_from_json(&json).unwrap();
+        assert!(back.rng.is_default());
     }
 
     #[test]

@@ -107,6 +107,76 @@ pub enum TopologyKind {
     Wifi,
 }
 
+/// Per-subsystem RNG stream plan — the first-class handle on the seed
+/// split that [`crate::Ddosim`] already performs internally.
+///
+/// A build derives three independent streams from the run seed:
+///
+/// * **world** — topology construction, access-rate draws, binary mix,
+///   protection assignment (`seed ^ WORLD_TAG`),
+/// * **event** — the simulator's event-level stream driving churn,
+///   backoff jitter, scan order (`seed`),
+/// * **fault** — the fault-injection plan's draws
+///   (`seed ^ plan_seed ^ FAULT_TAG`).
+///
+/// The default plan (all `None`) reproduces those derivations exactly, so
+/// it is byte-identical to the pre-`RngPlan` behaviour. Pinning a stream
+/// overrides its derivation with a fixed seed, independent of the run
+/// seed — which is what common-random-numbers (CRN) paired sweeps need:
+/// two configs that differ only in the treatment (a defense parameter, a
+/// churn mode) but share every noise stream, so their A−B difference
+/// subtracts out the shared noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RngPlan {
+    /// World-building stream override (`None` = derive from the run seed).
+    pub world: Option<u64>,
+    /// Event-level stream override (`None` = derive from the run seed).
+    pub event: Option<u64>,
+    /// Fault-injection stream override (`None` = derive from the run and
+    /// fault-plan seeds).
+    pub fault: Option<u64>,
+}
+
+impl RngPlan {
+    /// Domain-separation tag of the world-building stream.
+    pub const WORLD_TAG: u64 = 0xB111D;
+    /// Domain-separation tag of the fault-injection stream.
+    pub const FAULT_TAG: u64 = 0xFA17;
+
+    /// Pins every stream to the derivations a plain run with
+    /// `seed = noise_seed` would use. Two configs carrying the same pinned
+    /// plan share all three noise streams even when their run seeds,
+    /// fault-plan seeds, or treatments differ — the CRN pairing mode.
+    pub fn pinned(noise_seed: u64) -> Self {
+        RngPlan {
+            world: Some(noise_seed ^ Self::WORLD_TAG),
+            event: Some(noise_seed),
+            fault: Some(noise_seed ^ Self::FAULT_TAG),
+        }
+    }
+
+    /// Seed of the world-building stream for a run with `sim_seed`.
+    pub fn world_seed(&self, sim_seed: u64) -> u64 {
+        self.world.unwrap_or(sim_seed ^ Self::WORLD_TAG)
+    }
+
+    /// Seed of the event-level stream for a run with `sim_seed`.
+    pub fn event_seed(&self, sim_seed: u64) -> u64 {
+        self.event.unwrap_or(sim_seed)
+    }
+
+    /// Seed of the fault-injection stream for a run with `sim_seed` whose
+    /// fault plan carries `plan_seed`.
+    pub fn fault_seed(&self, sim_seed: u64, plan_seed: u64) -> u64 {
+        self.fault.unwrap_or(sim_seed ^ plan_seed ^ Self::FAULT_TAG)
+    }
+
+    /// True when no stream is pinned (the byte-identical legacy split).
+    pub fn is_default(&self) -> bool {
+        *self == RngPlan::default()
+    }
+}
+
 /// The attack to launch once the botnet is assembled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackSpec {
@@ -210,6 +280,11 @@ pub struct SimulationConfig {
     /// what lets the botnet ride out a C&C takedown. 0 (the default)
     /// attaches none and changes nothing.
     pub backup_cncs: u16,
+    /// Per-subsystem RNG stream plan. The default derives every stream
+    /// from [`SimulationConfig::seed`] exactly as before `RngPlan`
+    /// existed; [`RngPlan::pinned`] shares streams across paired configs
+    /// for common-random-numbers sweeps.
+    pub rng: RngPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -242,6 +317,7 @@ impl Default for SimulationConfig {
             faults: faults::FaultPlan::default(),
             honeypots: 0,
             backup_cncs: 0,
+            rng: RngPlan::default(),
             seed: 42,
         }
     }
@@ -482,6 +558,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Per-subsystem RNG stream plan ([`RngPlan::pinned`] enables
+    /// common-random-numbers pairing; the default reproduces the plain
+    /// seed-derived streams byte for byte).
+    pub fn rng(mut self, plan: RngPlan) -> Self {
+        self.config.rng = plan;
+        self
+    }
+
     /// Arms a mid-run snapshot: when the run crosses `at`, a
     /// [`crate::Checkpoint`] is produced alongside the result (retrieve it
     /// via [`crate::Ddosim::try_run_to_completion`]).
@@ -587,6 +671,33 @@ mod tests {
         assert_eq!(b.config().devs, 50);
         assert_eq!(b.config().churn, ChurnMode::Dynamic);
         assert_eq!(b.config().seed, 9);
+    }
+
+    #[test]
+    fn default_rng_plan_matches_legacy_derivations() {
+        let plan = RngPlan::default();
+        assert!(plan.is_default());
+        assert_eq!(plan.world_seed(42), 42 ^ RngPlan::WORLD_TAG);
+        assert_eq!(plan.event_seed(42), 42);
+        assert_eq!(plan.fault_seed(42, 7), 42 ^ 7 ^ RngPlan::FAULT_TAG);
+    }
+
+    #[test]
+    fn pinned_rng_plan_is_seed_invariant() {
+        let plan = RngPlan::pinned(1234);
+        assert!(!plan.is_default());
+        // Pinned streams ignore the run seed and the fault-plan seed: the
+        // same noise lands in every paired arm.
+        for seed in [0, 42, u64::MAX] {
+            assert_eq!(plan.world_seed(seed), 1234 ^ RngPlan::WORLD_TAG);
+            assert_eq!(plan.event_seed(seed), 1234);
+            assert_eq!(plan.fault_seed(seed, 9), 1234 ^ RngPlan::FAULT_TAG);
+        }
+        // And they equal what a plain run with seed = noise would draw.
+        let legacy = RngPlan::default();
+        assert_eq!(plan.world_seed(7), legacy.world_seed(1234));
+        assert_eq!(plan.event_seed(7), legacy.event_seed(1234));
+        assert_eq!(plan.fault_seed(7, 0), legacy.fault_seed(1234, 0));
     }
 
     #[test]

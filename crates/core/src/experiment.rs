@@ -5,8 +5,21 @@
 //! them with [`crate::report::Table`] and record them for EXPERIMENTS.md.
 //! Sweeps run their configurations in parallel (one simulator per thread;
 //! simulators are single-threaded worlds).
+//!
+//! Two sweep modes layer on top of the plain batch runners:
+//!
+//! * **Streaming** — [`try_run_configs_streamed`] / [`run_suffixes_streamed`]
+//!   fire a per-row callback the moment a worker finishes, then still return
+//!   the full result set in input order. The batch runners are thin wrappers
+//!   over the streamed ones, so per-row outcomes are byte-identical by
+//!   construction.
+//! * **Common random numbers (CRN)** — [`crn_compare`] pairs a baseline
+//!   against treatments with a shared [`RngPlan::pinned`] noise plan per
+//!   replicate, so the A−B difference subtracts out world/event/fault noise;
+//!   the paired experiment variants (`fig2_paired` …) report the measured
+//!   variance reduction against independent seeding.
 
-use crate::config::{Recruitment, SimulationBuilder, SimulationConfig};
+use crate::config::{Recruitment, RngPlan, SimulationBuilder, SimulationConfig};
 use crate::instance::Ddosim;
 use crate::result::RunResult;
 use crate::suffix::SuffixSpec;
@@ -69,6 +82,19 @@ fn take_panic_location() -> String {
 /// panicked mid-run. One bad point in a sweep costs that row, not the
 /// hours of completed rows around it.
 pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, String>> {
+    try_run_configs_streamed(configs, |_, _| {})
+}
+
+/// [`try_run_configs`] with streaming delivery: `on_row(i, outcome)` fires
+/// on the calling thread the moment row `i` finishes (completion order,
+/// not input order), and the full outcome set still comes back in input
+/// order. The batch runner is this function with a no-op callback, so a
+/// streamed row is byte-identical to the batch runner's row for the same
+/// configurations.
+pub fn try_run_configs_streamed(
+    configs: Vec<SimulationConfig>,
+    mut on_row: impl FnMut(usize, &Result<RunResult, String>),
+) -> Vec<Result<RunResult, String>> {
     install_location_hook();
     let n = configs.len();
     let threads = std::thread::available_parallelism()
@@ -76,20 +102,22 @@ pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, 
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<RunResult, String>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let mut results: Vec<Option<Result<RunResult, String>>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<RunResult, String>)>();
     std::thread::scope(|scope| {
+        let configs = &configs;
+        let next = &next;
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let config = configs[i].clone();
-                // A panicking run must not poison the shared results (that
-                // would abort the whole sweep): catch it here and record it
-                // as this row's outcome. The worker loop then moves on to
-                // the next configuration.
+                // A panicking run must not take down the whole sweep:
+                // catch it here and record it as this row's outcome. The
+                // worker loop then moves on to the next configuration.
                 let outcome =
                     match catch_unwind(AssertUnwindSafe(|| {
                         Ddosim::new(config).map(Ddosim::run_to_completion)
@@ -102,16 +130,21 @@ pub fn try_run_configs(configs: Vec<SimulationConfig>) -> Vec<Result<RunResult, 
                             panic_message(&*payload)
                         )),
                     };
-                // Poison recovery: a panic between lock() and the store on
-                // some other thread (e.g. in an allocator hook) still
-                // leaves the Vec structurally intact.
-                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+                if tx.send((i, outcome)).is_err() {
+                    // Receiver gone (the callback panicked): stop working.
+                    break;
+                }
             });
+        }
+        // The workers hold the remaining senders; dropping ours lets the
+        // drain loop end exactly when the last worker exits.
+        drop(tx);
+        for (i, outcome) in rx {
+            on_row(i, &outcome);
+            results[i] = Some(outcome);
         }
     });
     results
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every index was produced"))
         .collect()
@@ -163,64 +196,125 @@ pub fn run_suffixes_traced(
     parent: &Ddosim,
     suffixes: &[SuffixSpec],
 ) -> Vec<Result<SuffixOutcome, String>> {
+    run_suffixes_streamed(parent, suffixes, |_, _| {})
+}
+
+/// [`run_suffixes_traced`] with streaming delivery: `on_row(i, outcome)`
+/// fires on the calling thread as each branch finishes (completion order),
+/// and the full outcome set still comes back in input order.
+///
+/// Forking is lazy: the calling thread forks one world at a time into a
+/// bounded hand-off queue, so at most `2 × threads + 2` forked worlds are
+/// alive at once — peak memory is O(threads × world size), not
+/// O(suffixes × world size) as it was when every fork happened up front.
+pub fn run_suffixes_streamed(
+    parent: &Ddosim,
+    suffixes: &[SuffixSpec],
+    on_row: impl FnMut(usize, &Result<SuffixOutcome, String>),
+) -> Vec<Result<SuffixOutcome, String>> {
+    run_suffixes_bounded(parent, suffixes, on_row, &AtomicUsize::new(0))
+}
+
+/// [`run_suffixes_streamed`] with an externally observable high-water mark
+/// of simultaneously live forked worlds (`peak_live`) — the lazy-forking
+/// invariant the tests pin down.
+fn run_suffixes_bounded(
+    parent: &Ddosim,
+    suffixes: &[SuffixSpec],
+    mut on_row: impl FnMut(usize, &Result<SuffixOutcome, String>),
+    peak_live: &AtomicUsize,
+) -> Vec<Result<SuffixOutcome, String>> {
     install_location_hook();
-    // Fork on this thread (forks are cheap next to running them), then
-    // hand each disjoint world to the pool.
-    let worlds: Vec<Result<SendWorld, String>> = suffixes
-        .iter()
-        .map(|spec| {
-            let mut world = parent.fork_with_seed(spec.fork_seed)?;
-            world.apply_suffix(spec)?;
-            Ok(SendWorld(world))
-        })
-        .collect();
-    let n = worlds.len();
+    let n = suffixes.len();
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<SendWorld, String>>>> =
-        Mutex::new(worlds.into_iter().map(Some).collect());
-    let results: Mutex<Vec<Option<Result<SuffixOutcome, String>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let mut results: Vec<Option<Result<SuffixOutcome, String>>> = (0..n).map(|_| None).collect();
+    // Live-world accounting: +1 when a fork is produced, −1 when its run
+    // consumed it. The bounded hand-off queue (capacity `threads`) is what
+    // enforces the O(threads) ceiling: a full queue blocks the producer
+    // before it forks world `threads + running + 1`.
+    let live = AtomicUsize::new(0);
+    let (work_tx, work_rx) =
+        std::sync::mpsc::sync_channel::<(usize, Result<SendWorld, String>)>(threads);
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, Result<SuffixOutcome, String>)>();
     std::thread::scope(|scope| {
+        let work_rx = &work_rx;
+        let live = &live;
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let world = slots.lock().unwrap_or_else(PoisonError::into_inner)[i]
-                    .take()
-                    .expect("each index is claimed exactly once");
+            let done_tx = done_tx.clone();
+            scope.spawn(move || loop {
+                // Holding the lock across recv() is fine: exactly one
+                // worker waits on the channel, the rest queue on the lock.
+                let msg = work_rx
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .recv();
+                let Ok((i, world)) = msg else { break };
                 let outcome = match world {
                     Err(msg) => Err(format!("suffix {i} invalid: {msg}")),
                     Ok(SendWorld(w)) => {
                         // The handle shares the fork's collectors, so it
                         // stays readable after the run consumes the world.
                         let tele = w.telemetry().clone();
-                        match catch_unwind(AssertUnwindSafe(|| w.try_run_to_completion())) {
-                            Ok(Ok((result, _))) => Ok(SuffixOutcome {
-                                result,
-                                trace: tele.recorder_json(),
-                            }),
-                            Ok(Err(msg)) => Err(format!("suffix {i} failed: {msg}")),
-                            Err(payload) => Err(format!(
-                                "suffix {i} panicked{}: {}",
-                                take_panic_location(),
-                                panic_message(&*payload)
-                            )),
-                        }
+                        let outcome =
+                            match catch_unwind(AssertUnwindSafe(|| w.try_run_to_completion())) {
+                                Ok(Ok((result, _))) => Ok(SuffixOutcome {
+                                    result,
+                                    trace: tele.recorder_json(),
+                                }),
+                                Ok(Err(msg)) => Err(format!("suffix {i} failed: {msg}")),
+                                Err(payload) => Err(format!(
+                                    "suffix {i} panicked{}: {}",
+                                    take_panic_location(),
+                                    panic_message(&*payload)
+                                )),
+                            };
+                        // The world is gone (consumed by the run, or
+                        // dropped during the unwind) either way.
+                        live.fetch_sub(1, Ordering::Relaxed);
+                        outcome
                     }
                 };
-                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+                if done_tx.send((i, outcome)).is_err() {
+                    break;
+                }
             });
+        }
+        // Workers hold the remaining result senders; dropping ours makes a
+        // dead pool an error on recv() instead of a hang.
+        drop(done_tx);
+        let mut received = 0usize;
+        for (i, spec) in suffixes.iter().enumerate() {
+            let world = parent.fork_with_seed(spec.fork_seed).and_then(|mut w| {
+                w.apply_suffix(spec)?;
+                Ok(SendWorld(w))
+            });
+            if world.is_ok() {
+                let now_live = live.fetch_add(1, Ordering::Relaxed) + 1;
+                peak_live.fetch_max(now_live, Ordering::Relaxed);
+            }
+            // Drain finished rows before (possibly) blocking on the
+            // hand-off, so callbacks fire as branches complete rather than
+            // only after the last fork is produced.
+            while let Ok((j, outcome)) = done_rx.try_recv() {
+                on_row(j, &outcome);
+                results[j] = Some(outcome);
+                received += 1;
+            }
+            work_tx.send((i, world)).expect("a worker is receiving");
+        }
+        drop(work_tx);
+        while received < n {
+            let (j, outcome) = done_rx.recv().expect("workers produce every row");
+            on_row(j, &outcome);
+            results[j] = Some(outcome);
+            received += 1;
         }
     });
     results
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every index was produced"))
         .collect()
@@ -261,6 +355,149 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
         return 0.0;
     }
     v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Unbiased sample variance (n − 1 denominator); 0 for fewer than two
+/// samples.
+fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values.iter().copied());
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// One treatment of a common-random-numbers comparison: the paired
+/// (shared-noise) A−B statistics next to the same comparison run with
+/// independent seeds, so the variance reduction CRN buys is measured, not
+/// assumed.
+#[derive(Debug, Clone)]
+pub struct CrnComparison {
+    /// Human-readable treatment label.
+    pub label: String,
+    /// Mean metric of the baseline arm (paired replicates).
+    pub baseline_mean: f64,
+    /// Mean metric of the treatment arm (paired replicates).
+    pub treatment_mean: f64,
+    /// Mean paired difference (treatment − baseline).
+    pub diff_mean: f64,
+    /// Sample variance of the per-replicate difference under shared noise.
+    pub paired_diff_var: f64,
+    /// Sample variance of the per-replicate difference under independent
+    /// seeds.
+    pub independent_diff_var: f64,
+    /// `independent_diff_var / paired_diff_var` — how many times fewer
+    /// replicates the paired design needs for the same standard error
+    /// (`f64::INFINITY` when pairing removes the noise entirely).
+    pub variance_ratio: f64,
+    /// Replicates per arm.
+    pub replicates: u64,
+}
+
+/// Runs a paired common-random-numbers comparison of `baseline` against
+/// each labelled treatment, next to the identical comparison with
+/// independent seeds.
+///
+/// Per replicate `r`, the paired arms both carry
+/// [`RngPlan::pinned`]`(base_seed + r)` — identical world, event, and
+/// fault streams, so the treatment is the *only* thing that differs — and
+/// the independent arms draw disjoint seeds with the default plan. All
+/// runs go through one [`run_configs`] pool batch.
+///
+/// # Panics
+///
+/// Panics if `replicates < 2` (a variance needs two samples) or if any
+/// constructed configuration fails to run (as [`run_configs`]).
+pub fn crn_compare(
+    baseline: &SimulationConfig,
+    treatments: &[(String, SimulationConfig)],
+    replicates: u64,
+    base_seed: u64,
+    metric: impl Fn(&RunResult) -> f64,
+) -> Vec<CrnComparison> {
+    assert!(replicates >= 2, "CRN comparison needs at least two replicates");
+    // Disjoint seed blocks keep the independent arms genuinely
+    // independent — of the paired arms and of each other.
+    const INDEP_BASELINE_BLOCK: u64 = 10_000;
+    const INDEP_TREATMENT_BLOCK: u64 = 20_000;
+    let with_pinned = |c: &SimulationConfig, rep: u64| {
+        let mut c = c.clone();
+        c.seed = base_seed + rep;
+        c.rng = RngPlan::pinned(base_seed + rep);
+        c
+    };
+    let with_seed = |c: &SimulationConfig, block: u64, rep: u64| {
+        let mut c = c.clone();
+        c.seed = base_seed + block + rep;
+        c.rng = RngPlan::default();
+        c
+    };
+    let reps = replicates as usize;
+    let mut configs = Vec::with_capacity(reps * 2 * (treatments.len() + 1));
+    for rep in 0..replicates {
+        configs.push(with_pinned(baseline, rep));
+    }
+    for rep in 0..replicates {
+        configs.push(with_seed(baseline, INDEP_BASELINE_BLOCK, rep));
+    }
+    for (k, (_, treatment)) in treatments.iter().enumerate() {
+        for rep in 0..replicates {
+            configs.push(with_pinned(treatment, rep));
+        }
+        for rep in 0..replicates {
+            configs.push(with_seed(
+                treatment,
+                INDEP_TREATMENT_BLOCK + k as u64 * replicates,
+                rep,
+            ));
+        }
+    }
+    let results = run_configs(configs);
+    let vals = |block: usize| -> Vec<f64> {
+        results[block * reps..(block + 1) * reps]
+            .iter()
+            .map(&metric)
+            .collect()
+    };
+    let paired_base = vals(0);
+    let indep_base = vals(1);
+    treatments
+        .iter()
+        .enumerate()
+        .map(|(k, (label, _))| {
+            let paired_treat = vals(2 + 2 * k);
+            let indep_treat = vals(3 + 2 * k);
+            let paired_diffs: Vec<f64> = paired_treat
+                .iter()
+                .zip(&paired_base)
+                .map(|(t, b)| t - b)
+                .collect();
+            let indep_diffs: Vec<f64> = indep_treat
+                .iter()
+                .zip(&indep_base)
+                .map(|(t, b)| t - b)
+                .collect();
+            let paired_diff_var = sample_variance(&paired_diffs);
+            let independent_diff_var = sample_variance(&indep_diffs);
+            let variance_ratio = if paired_diff_var > 0.0 {
+                independent_diff_var / paired_diff_var
+            } else if independent_diff_var > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            CrnComparison {
+                label: label.clone(),
+                baseline_mean: mean(paired_base.iter().copied()),
+                treatment_mean: mean(paired_treat.iter().copied()),
+                diff_mean: mean(paired_diffs.iter().copied()),
+                paired_diff_var,
+                independent_diff_var,
+                variance_ratio,
+                replicates,
+            }
+        })
+        .collect()
 }
 
 /// One point of Figure 2.
@@ -601,6 +838,115 @@ pub fn recruitment_comparison(devs: usize, base_seed: u64) -> Vec<RecruitmentRow
         .collect()
 }
 
+/// Figure 2's churn comparison as a paired-CRN experiment: static and
+/// dynamic churn against the churn-free baseline at `devs` devices, metric
+/// = average received data rate (kbps).
+pub fn fig2_paired(devs: usize, replicates: u64, base_seed: u64) -> Vec<CrnComparison> {
+    let base = SimulationBuilder::new().devs(devs).config().clone();
+    let treatments = vec![
+        (
+            "static churn".to_owned(),
+            SimulationBuilder::new().devs(devs).churn(ChurnMode::Static).config().clone(),
+        ),
+        (
+            "dynamic churn".to_owned(),
+            SimulationBuilder::new().devs(devs).churn(ChurnMode::Dynamic).config().clone(),
+        ),
+    ];
+    crn_compare(&base, &treatments, replicates, base_seed, |r| {
+        r.avg_received_data_rate_kbps
+    })
+}
+
+/// Figure 3's duration comparison as a paired-CRN experiment: every longer
+/// attack duration against the shortest, metric = average received data
+/// rate (kbps).
+///
+/// # Panics
+///
+/// Panics if fewer than two durations are given.
+pub fn fig3_paired(
+    devs: usize,
+    durations_secs: &[u64],
+    replicates: u64,
+    base_seed: u64,
+) -> Vec<CrnComparison> {
+    assert!(durations_secs.len() >= 2, "fig3_paired needs a baseline and a treatment");
+    let with_duration = |secs: u64| {
+        SimulationBuilder::new()
+            .devs(devs)
+            .attack(crate::AttackSpec::udp_plain(Duration::from_secs(secs)))
+            .config()
+            .clone()
+    };
+    let base = with_duration(durations_secs[0]);
+    let treatments: Vec<(String, SimulationConfig)> = durations_secs[1..]
+        .iter()
+        .map(|&secs| {
+            (
+                format!("{secs}s attack vs {}s", durations_secs[0]),
+                with_duration(secs),
+            )
+        })
+        .collect();
+    crn_compare(&base, &treatments, replicates, base_seed, |r| {
+        r.avg_received_data_rate_kbps
+    })
+}
+
+/// The R1/R2 strategy comparison as a paired-CRN experiment: static-chain
+/// and code-injection exploits against leak+rebase on random protection
+/// subsets, metric = infection rate.
+pub fn infection_matrix_paired(devs: usize, replicates: u64, base_seed: u64) -> Vec<CrnComparison> {
+    let with_strategy = |s: crate::ExploitStrategy| {
+        SimulationBuilder::new().devs(devs).strategy(s).config().clone()
+    };
+    let base = with_strategy(crate::ExploitStrategy::LeakRebase);
+    let treatments = vec![
+        (
+            "static chain vs leak+rebase".to_owned(),
+            with_strategy(crate::ExploitStrategy::StaticChain),
+        ),
+        (
+            "code injection vs leak+rebase".to_owned(),
+            with_strategy(crate::ExploitStrategy::CodeInjection),
+        ),
+    ];
+    crn_compare(&base, &treatments, replicates, base_seed, |r| r.infection_rate)
+}
+
+/// The §IV-C hardening ablations as a paired-CRN experiment: each ablation
+/// against the unhardened baseline, metric = average received data rate
+/// (kbps).
+pub fn ablations_paired(devs: usize, replicates: u64, base_seed: u64) -> Vec<CrnComparison> {
+    let base = SimulationBuilder::new().devs(devs).config().clone();
+    let treatments = vec![
+        (
+            "vendor removes curl".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .commands(CommandSet::without(&["curl"]))
+                .config()
+                .clone(),
+        ),
+        (
+            "device data rate capped at 100-150 kbps".to_owned(),
+            SimulationBuilder::new().devs(devs).access_rate_kbps(100..=150).config().clone(),
+        ),
+        (
+            "firmware rebuilt with stack canaries".to_owned(),
+            SimulationBuilder::new()
+                .devs(devs)
+                .protections(ProtectionMix::Uniform(Protections::HARDENED))
+                .config()
+                .clone(),
+        ),
+    ];
+    crn_compare(&base, &treatments, replicates, base_seed, |r| {
+        r.avg_received_data_rate_kbps
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,6 +1073,142 @@ mod tests {
         assert_eq!(take_panic_location(), "", "slot must clear after take");
     }
 
+    /// Canonical byte representation of a row for identity comparisons:
+    /// the deterministic result JSON for successes, the error string for
+    /// failures.
+    fn row_repr(outcome: &Result<RunResult, String>) -> String {
+        match outcome {
+            Ok(r) => r.to_deterministic_json().to_string_compact(),
+            Err(e) => e.clone(),
+        }
+    }
+
+    #[test]
+    fn streamed_rows_match_batch_including_failures() {
+        let invalid = SimulationConfig { devs: 0, ..small(2, 1) };
+        let poisoned = SimulationConfig {
+            tserver_link_bps: 0,
+            ..small(2, 1)
+        };
+        let configs = vec![small(2, 1), invalid, small(3, 2), poisoned];
+        let batch = try_run_configs(configs.clone());
+        let mut seen: Vec<Option<String>> = vec![None; configs.len()];
+        let streamed = try_run_configs_streamed(configs, |i, outcome| {
+            assert!(seen[i].is_none(), "row {i} delivered twice");
+            seen[i] = Some(row_repr(outcome));
+        });
+        assert_eq!(batch.len(), streamed.len());
+        for (i, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+            assert_eq!(row_repr(b), row_repr(s), "row {i} differs from batch");
+            let cb = seen[i].as_ref().unwrap_or_else(|| panic!("row {i} never delivered"));
+            assert_eq!(cb, &row_repr(b), "callback row {i} differs from batch");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(4))]
+        #[test]
+        fn streamed_rows_are_byte_identical_to_batch(
+            seeds in proptest::collection::vec(proptest::any::<u64>(), 1..5)
+        ) {
+            // Derive a mixed bag from each seed: valid rows of varying
+            // size, invalid rows (devs = 0 fails validation), and poisoned
+            // rows (a zero-rate TServer link panics mid-run) — the error
+            // strings must be byte-identical too.
+            let configs: Vec<SimulationConfig> = seeds
+                .iter()
+                .map(|&s| {
+                    let mut c = small(2 + (s % 2) as usize, s % 16);
+                    match s % 5 {
+                        0 => c.devs = 0,
+                        1 => c.tserver_link_bps = 0,
+                        _ => {}
+                    }
+                    c
+                })
+                .collect();
+            let batch = try_run_configs(configs.clone());
+            let mut seen: Vec<Option<String>> = vec![None; configs.len()];
+            let streamed = try_run_configs_streamed(configs, |i, outcome| {
+                proptest::prop_assert!(seen[i].is_none(), "row {} delivered twice", i);
+                seen[i] = Some(row_repr(outcome));
+            });
+            for (i, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+                proptest::prop_assert_eq!(&row_repr(b), &row_repr(s), "row {} differs", i);
+                let cb = seen[i].clone().expect("every row delivered");
+                proptest::prop_assert_eq!(cb, row_repr(b), "callback row {} differs", i);
+            }
+        }
+    }
+
+    #[test]
+    fn crn_pairing_reduces_difference_variance() {
+        // Treatment: a longer attack duration. Both arms' received rate
+        // scales with the same world draws (the bots' access-link rates),
+        // so under a shared noise plan the A−B difference cancels that
+        // noise, while independent seeds redraw it in both arms. (A
+        // treatment whose arm stops responding to the shared noise — e.g.
+        // capping the flood below the access range — would defeat the
+        // pairing; CRN pays off when both arms co-vary with the noise.)
+        let base = small(2, 0);
+        let mut longer = base.clone();
+        longer.attack.duration = Duration::from_secs(18);
+        let rows = crn_compare(
+            &base,
+            &[("18s attack vs 15s".to_owned(), longer)],
+            20,
+            1000,
+            |r| r.avg_received_data_rate_kbps,
+        );
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.replicates, 20);
+        assert!(
+            row.independent_diff_var > 0.0,
+            "independent seeds must produce varying differences"
+        );
+        assert!(
+            row.paired_diff_var < row.independent_diff_var,
+            "paired variance {} must be strictly below independent variance {}",
+            row.paired_diff_var,
+            row.independent_diff_var
+        );
+        assert!(row.variance_ratio > 1.0, "ratio: {}", row.variance_ratio);
+    }
+
+    #[test]
+    fn crn_paired_arms_share_noise_streams() {
+        // Two paired configs that do not differ at all must produce the
+        // same deterministic result even though their run seeds differ:
+        // every noise stream is pinned.
+        let mut a = small(3, 1);
+        let mut b = small(3, 2);
+        a.rng = RngPlan::pinned(55);
+        b.rng = RngPlan::pinned(55);
+        let results = run_configs(vec![a, b]);
+        assert_eq!(results[0].packets_sent, results[1].packets_sent);
+        assert_eq!(
+            results[0].avg_received_data_rate_kbps,
+            results[1].avg_received_data_rate_kbps
+        );
+        assert_eq!(results[0].infected, results[1].infected);
+    }
+
+    #[test]
+    fn pinned_plan_reproduces_the_plain_run_of_its_noise_seed() {
+        // pinned(s) on any run seed is the same world as a plain run with
+        // seed = s — the pinning is an override, not a new derivation.
+        let plain = Ddosim::new(small(3, 7)).expect("valid").run_to_completion();
+        let mut pinned = small(3, 1234);
+        pinned.rng = RngPlan::pinned(7);
+        let r = Ddosim::new(pinned).expect("valid").run_to_completion();
+        assert_eq!(r.packets_sent, plain.packets_sent);
+        assert_eq!(
+            r.avg_received_data_rate_kbps,
+            plain.avg_received_data_rate_kbps
+        );
+    }
+
     #[test]
     fn run_suffixes_empty_and_identity() {
         let mut parent = Ddosim::new(small(3, 11)).expect("valid");
@@ -764,5 +1246,96 @@ mod tests {
         let err = rows[1].as_ref().expect_err("horizon before attack end");
         assert!(err.contains("suffix 1 invalid"), "got: {err}");
         assert!(err.contains("horizon"), "got: {err}");
+    }
+
+    /// Peak resident set (VmHWM) of this process, in kB.
+    fn peak_rss_kb() -> u64 {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                    l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
+                })
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn wide_suffix_sweep_forks_lazily() {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let mut parent = Ddosim::new(small(4, 11)).expect("valid");
+        parent.run_prefix(Duration::from_secs(20)).expect("prefix runs");
+        let n = threads * 4 + 2;
+        let suffixes: Vec<SuffixSpec> = (0..n)
+            .map(|i| SuffixSpec::identity(format!("s{i}")))
+            .collect();
+        let rss_before = peak_rss_kb();
+        let peak = AtomicUsize::new(0);
+        let mut delivered = 0usize;
+        let rows = run_suffixes_bounded(
+            &parent,
+            &suffixes,
+            |_, outcome| {
+                assert!(outcome.is_ok());
+                delivered += 1;
+            },
+            &peak,
+        );
+        assert_eq!(rows.len(), n);
+        assert_eq!(delivered, n);
+        assert!(rows.iter().all(Result::is_ok));
+        // The precise lazy-forking invariant: live worlds never exceed the
+        // pool (running) + the hand-off queue (threads) + the one in the
+        // producer's hand. Eager forking holds all n alive at once.
+        let peak = peak.load(Ordering::Relaxed);
+        assert!(peak >= 1, "at least one fork must have been live");
+        assert!(
+            peak <= 2 * threads + 2,
+            "peak of {peak} live forks exceeds the lazy bound for {threads} threads \
+             ({n} suffixes would all be live under eager forking)"
+        );
+        // Coarse end-to-end check on the same property: a wide sweep of
+        // small worlds must not balloon the process high-water mark the
+        // way n simultaneous deep clones would.
+        let rss_grown_kb = peak_rss_kb().saturating_sub(rss_before);
+        assert!(
+            rss_grown_kb < 512 * 1024,
+            "wide suffix sweep grew peak RSS by {rss_grown_kb} kB"
+        );
+    }
+
+    #[test]
+    fn streamed_suffixes_match_traced_rows() {
+        let mut parent = Ddosim::new(small(3, 11)).expect("valid");
+        parent.run_prefix(Duration::from_secs(20)).expect("prefix runs");
+        let bad = crate::suffix::SuffixSpec {
+            horizon: Some(Duration::from_secs(1)),
+            ..crate::suffix::SuffixSpec::identity("bad")
+        };
+        let suffixes = vec![
+            crate::suffix::SuffixSpec::identity("a"),
+            bad,
+            crate::suffix::SuffixSpec::identity("b"),
+        ];
+        let repr = |o: &Result<SuffixOutcome, String>| match o {
+            Ok(s) => s.result.to_deterministic_json().to_string_compact(),
+            Err(e) => e.clone(),
+        };
+        let batch = run_suffixes_traced(&parent, &suffixes);
+        let mut seen: Vec<Option<String>> = vec![None; suffixes.len()];
+        let streamed = run_suffixes_streamed(&parent, &suffixes, |i, outcome| {
+            assert!(seen[i].is_none(), "row {i} delivered twice");
+            seen[i] = Some(repr(outcome));
+        });
+        for (i, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+            assert_eq!(repr(b), repr(s), "row {i} differs from batch");
+            assert_eq!(
+                seen[i].as_deref(),
+                Some(repr(b).as_str()),
+                "callback row {i} differs from batch"
+            );
+        }
     }
 }

@@ -369,7 +369,7 @@ impl Ddosim {
     /// t = 0), which is what a resumed run needs for its silent replay.
     fn build(config: SimulationConfig, suppressed: bool) -> Result<Self, String> {
         config.validate()?;
-        let mut sim = Simulator::new(config.seed);
+        let mut sim = Simulator::new(config.rng.event_seed(config.seed));
         let telemetry = Telemetry::from_config(&config.telemetry);
         if suppressed {
             telemetry.set_suppressed(true);
@@ -382,8 +382,9 @@ impl Ddosim {
             }));
         }
         // Separate construction RNG: keeps topology sampling independent of
-        // the event-time RNG stream (same seed → same world).
-        let mut build_rng = SmallRng::seed_from_u64(config.seed ^ 0xB111D);
+        // the event-time RNG stream (same seed → same world). The RngPlan
+        // can pin this stream so CRN-paired configs build identical worlds.
+        let mut build_rng = SmallRng::seed_from_u64(config.rng.world_seed(config.seed));
         let mut fabric = match config.topology {
             TopologyKind::Star => Fabric::Star(StarTopology::new(&mut sim, "internet")),
             TopologyKind::Tiered {
@@ -774,7 +775,10 @@ impl Ddosim {
         // every RNG stream matches a plan-free run.
         if !instance.config.faults.is_empty() {
             instance.sim.reseed_fault_rng(
-                instance.config.seed ^ instance.config.faults.seed ^ 0xFA17,
+                instance
+                    .config
+                    .rng
+                    .fault_seed(instance.config.seed, instance.config.faults.seed),
             );
             let plan = instance.config.faults.clone();
             instance.schedule_fault_plan(&plan)?;

@@ -42,10 +42,13 @@ pub mod suffix;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use config::{
-    AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, SimulationBuilder,
+    AttackSpec, BinaryMix, DaemonKind, ExploitStrategy, Recruitment, RngPlan, SimulationBuilder,
     SimulationConfig, TopologyKind,
 };
-pub use experiment::{run_configs, run_suffixes, run_suffixes_traced, try_run_configs, SuffixOutcome};
+pub use experiment::{
+    crn_compare, run_configs, run_suffixes, run_suffixes_streamed, run_suffixes_traced,
+    try_run_configs, try_run_configs_streamed, CrnComparison, SuffixOutcome,
+};
 pub use honeypot::Honeypot;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, PlanError, FAULT_PLAN_SCHEMA};
 pub use instance::{Ddosim, DevInfo, ATTACKER_IMAGE_BYTES, DEV_IMAGE_BASE_BYTES};

@@ -50,17 +50,39 @@ impl TServerSink {
     /// The paper's Eq. 2: the average received data rate (kbps) over the
     /// window `[start, start + duration)`, i.e. total kbits received over
     /// the attack window divided by the attack duration in seconds.
+    ///
+    /// Sub-second window edges weight the partially covered first/last
+    /// sampling bins by their fractional overlap (samples are per-second
+    /// totals, so a bin's bytes are attributed uniformly across its
+    /// second). Whole-second windows reduce exactly to the plain
+    /// sum-over-bins / seconds form. An earlier revision truncated both
+    /// edges to whole seconds (`as_secs()`), so a 2.5 s window measured as
+    /// 2 s and inflated the reported kbps.
     pub fn average_received_data_rate_kbps(&self, start: Duration, duration: Duration) -> f64 {
-        let s = start.as_secs() as usize;
-        let n = duration.as_secs().max(1) as usize;
-        let total_bytes: u64 = self
+        let start_s = start.as_secs_f64();
+        let dur_s = duration.as_secs_f64();
+        if dur_s <= 0.0 {
+            return 0.0;
+        }
+        let end_s = start_s + dur_s;
+        let first_bin = start_s.floor() as usize;
+        let mut total_kbits = 0.0;
+        for (bin, &bytes) in self
             .per_second_bytes
             .iter()
-            .skip(s)
-            .take(n)
-            .copied()
-            .sum();
-        (total_bytes as f64 * 8.0 / 1000.0) / n as f64
+            .enumerate()
+            .skip(first_bin)
+        {
+            let bin_start = bin as f64;
+            if bin_start >= end_s {
+                break;
+            }
+            let overlap = (bin_start + 1.0).min(end_s) - bin_start.max(start_s);
+            if overlap > 0.0 {
+                total_kbits += overlap * (bytes as f64 * 8.0 / 1000.0);
+            }
+        }
+        total_kbits / dur_s
     }
 }
 
@@ -225,6 +247,77 @@ mod tests {
             Duration::from_secs(10),
         );
         assert!((avg - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_sub_second_duration_is_not_truncated() {
+        // 1000 B in every covered second. A 2.5 s window starting on a
+        // whole second covers bins 2, 3 fully and half of bin 4:
+        // (8 + 8 + 4) kbit / 2.5 s = 8 kbps. The truncating revision
+        // measured 2 s instead (and at < 1 s windows clamped to 1 s).
+        let sink = TServerSink {
+            per_second_bytes: vec![1000; 6],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_secs(2),
+            Duration::from_millis(2500),
+        );
+        assert!((avg - 8.0).abs() < 1e-9, "got {avg}");
+        // A window whose fractional bin dominates makes the truncation
+        // starkly visible: bins 2..5 are [0, 0, 4000], so 2.5 s from
+        // t = 2 → (0 + 0 + 0.5·32) kbit / 2.5 s = 6.4, where the
+        // truncating revision reported 0.
+        let sink = TServerSink {
+            per_second_bytes: vec![0, 0, 0, 0, 4000, 0],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_secs(2),
+            Duration::from_millis(2500),
+        );
+        assert!((avg - 6.4).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn eq2_sub_second_start_weights_the_first_bin() {
+        // Start at 1.75 s for 1 s: 0.25 of bin 1 (800 B) + 0.75 of bin 2
+        // (4000 B) = (0.25·6.4 + 0.75·32) kbit = 25.6 kbit over 1 s. The
+        // truncating revision started at bin 1 and reported 6.4.
+        let sink = TServerSink {
+            per_second_bytes: vec![0, 800, 4000, 0],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_millis(1750),
+            Duration::from_secs(1),
+        );
+        assert!((avg - 25.6).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn eq2_window_smaller_than_one_bin() {
+        // A 250 ms window inside one 1000 B bin sees the bin's rate, not
+        // a quarter of it: 0.25 s · 8 kbps / 0.25 s = 8 kbps.
+        let sink = TServerSink {
+            per_second_bytes: vec![0, 1000, 0],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(
+            Duration::from_millis(1500),
+            Duration::from_millis(250),
+        );
+        assert!((avg - 8.0).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn eq2_zero_duration_is_zero() {
+        let sink = TServerSink {
+            per_second_bytes: vec![1000],
+            ..TServerSink::default()
+        };
+        let avg = sink.average_received_data_rate_kbps(Duration::ZERO, Duration::ZERO);
+        assert_eq!(avg, 0.0);
     }
 
     #[test]

@@ -130,6 +130,13 @@ impl RunResult {
     /// Quantile (`0.0..=1.0`) of time-to-infection among recruited Devs,
     /// in seconds; `None` if no Dev was recruited.
     ///
+    /// Uses the standard linear-interpolation definition (R-7 / NumPy
+    /// `linear`): rank `h = (n − 1)·q`, interpolating between the two
+    /// order statistics bracketing `h`, so the median of two samples is
+    /// their midpoint. An earlier nearest-rank revision rounded `h`
+    /// half-up into the wrong rank for small samples — p50 of 2 elements
+    /// returned the max.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -140,8 +147,13 @@ impl RunResult {
         }
         let mut times = self.infection_times_secs.clone();
         times.sort_by(f64::total_cmp);
-        let idx = ((times.len() - 1) as f64 * q).round() as usize;
-        Some(times[idx])
+        let h = (times.len() - 1) as f64 * q;
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        if frac == 0.0 {
+            return Some(times[lo]);
+        }
+        Some(times[lo] + frac * (times[lo + 1] - times[lo]))
     }
 
     /// Peak per-second received data rate (kbits/s) over the whole run.
@@ -293,6 +305,38 @@ mod tests {
         assert_eq!(r.time_to_infect_quantile(1.0), Some(10.0));
         r.infection_times_secs.clear();
         assert_eq!(r.time_to_infect_quantile(0.5), None);
+    }
+
+    #[test]
+    fn infection_quantiles_small_samples() {
+        // Hand-computed R-7 (linear interpolation) values for n = 1..4.
+        // The nearest-rank revision rounded (n−1)·q half-up: p50 of
+        // [2, 8] hit index round(0.5) = 1 and returned 8.0.
+        let mut r = result();
+        r.infection_times_secs = vec![5.0];
+        assert_eq!(r.time_to_infect_quantile(0.0), Some(5.0));
+        assert_eq!(r.time_to_infect_quantile(0.5), Some(5.0));
+        assert_eq!(r.time_to_infect_quantile(1.0), Some(5.0));
+
+        r.infection_times_secs = vec![8.0, 2.0];
+        assert_eq!(r.time_to_infect_quantile(0.0), Some(2.0));
+        assert_eq!(r.time_to_infect_quantile(0.5), Some(5.0));
+        assert_eq!(r.time_to_infect_quantile(0.75), Some(6.5));
+        assert_eq!(r.time_to_infect_quantile(1.0), Some(8.0));
+
+        r.infection_times_secs = vec![3.0, 1.0, 2.0];
+        assert_eq!(r.time_to_infect_quantile(0.5), Some(2.0));
+        // h = 2·0.25 = 0.5 → midpoint of the first two order statistics.
+        assert_eq!(r.time_to_infect_quantile(0.25), Some(1.5));
+        assert_eq!(r.time_to_infect_quantile(0.75), Some(2.5));
+
+        r.infection_times_secs = vec![4.0, 1.0, 3.0, 2.0];
+        // h = 3·0.5 = 1.5 → between 2.0 and 3.0.
+        assert_eq!(r.time_to_infect_quantile(0.5), Some(2.5));
+        // h = 3·0.25 = 0.75 → 1.0 + 0.75·(2.0 − 1.0).
+        assert_eq!(r.time_to_infect_quantile(0.25), Some(1.75));
+        assert_eq!(r.time_to_infect_quantile(0.75), Some(3.25));
+        assert_eq!(r.time_to_infect_quantile(1.0), Some(4.0));
     }
 
     #[test]

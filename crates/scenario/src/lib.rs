@@ -29,6 +29,10 @@
 
 pub mod exec;
 pub mod plan;
+pub mod sweep;
 
 pub use exec::SCENARIO_TAG;
 pub use plan::{DefenseSpec, RivalSpec, ScenarioPlan, SCENARIO_SCHEMA};
+pub use sweep::{
+    patch_rollout_grid, rate_limit_grid, run_grid_streamed, takedown_grid, CellOutcome, GridCell,
+};

@@ -519,6 +519,24 @@ impl ScenarioPlan {
         self.rivals.is_some()
             || self.defenses.iter().any(|d| matches!(d, DefenseSpec::PatchRollout { .. }))
     }
+
+    /// Repoints the plan's run seed and per-subsystem RNG plan — the hook
+    /// CRN grid sweeps (the [`crate::sweep`] module) use to give every
+    /// paired cell of a replicate identical noise streams. The scenario's
+    /// own stream (`seed ^ plan.seed ^ SCENARIO_TAG`) derives from the run
+    /// seed, so cells sharing a run seed share it automatically.
+    pub fn pin_noise(&mut self, seed: u64, rng: ddosim_core::RngPlan) {
+        self.config.seed = seed;
+        self.config.rng = rng;
+    }
+
+    /// Mutable access to the composed configuration for sibling modules.
+    /// Grid constructors must keep defense-implied world shape
+    /// (honeypots, backup C&Cs) in sync with the defense list, which is
+    /// why the field itself stays private.
+    pub(crate) fn config_mut(&mut self) -> &mut SimulationConfig {
+        &mut self.config
+    }
 }
 
 #[cfg(test)]

@@ -96,8 +96,8 @@ impl TestbedResult {
 pub fn run_testbed(config: TestbedConfig) -> Result<TestbedResult, String> {
     config.base.validate()?;
     let base = &config.base;
-    let mut sim = Simulator::new(base.seed);
-    let mut build_rng = SmallRng::seed_from_u64(base.seed ^ 0xB111D);
+    let mut sim = Simulator::new(base.rng.event_seed(base.seed));
+    let mut build_rng = SmallRng::seed_from_u64(base.rng.world_seed(base.seed));
     let mut alloc = AddrAllocator::new();
     let mut runtime = ContainerRuntime::new();
 

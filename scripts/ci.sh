@@ -8,7 +8,9 @@
 #                baseline (results/BENCH_netsim.json), checkpoint gauge
 #                included
 #   determinism  same seed -> byte-identical traces (star, multi-hop
-#                tiered, fault plan, zero-fault no-op)
+#                tiered, fault plan, zero-fault no-op); seed sweeps:
+#                streamed NDJSON rows == batch rows byte for byte, and
+#                a repeated sweep reproduces itself
 #   checkpoint   resume == straight-through: snapshot mid-attack, resume,
 #                and diff the resumed trace against the original's suffix
 #                (trace suffix + trace diff), plain and under a fault plan;
@@ -126,6 +128,21 @@ PLAN
     run_traced "$trace_a"
     run_traced "$trace_b" --faults "$plan"
     $DDOSIM trace diff "$trace_a" "$trace_b"
+
+    # Sweep smoke: the streamed runner must emit the exact rows the batch
+    # runner reports — same deterministic row bytes, only the delivery
+    # order may differ — and a repeated sweep must reproduce itself.
+    batch=$work/sweep-batch.ndjson
+    stream=$work/sweep-stream.ndjson
+    run_sweep() {
+        $DDOSIM --devs 6 --attack-at 20 --duration 15 --sim-time 45 \
+            --seed 7 --sweep-seeds 6 "$@"
+    }
+    run_sweep --json > "$batch"
+    run_sweep --sweep-stream > "$stream"
+    [ "$(wc -l < "$batch")" -eq 6 ]
+    sort "$stream" | diff "$batch" -
+    run_sweep --sweep-stream | sort | diff "$batch" -
 
     # Scenario smoke: every checked-in adversary-vs-defense plan
     # (ddosim.scenario/1) runs deterministically — same seed, byte-identical

@@ -72,6 +72,16 @@ OPTIONS:
                               goes to <record stem>.<suffix name>.json
     --fork-at <SECS>          override the plan's fork point (requires
                               --suffixes; fractional ok)
+    --sweep-seeds <N>         run the configured world N times with seeds
+                              seed..seed+N-1, fanned out across the worker
+                              pool; rows print in seed order (summary
+                              lines, or NDJSON rows with --json) and the
+                              exit code is non-zero if any run fails
+    --sweep-stream            with --sweep-seeds: print each NDJSON row the
+                              moment its run finishes (completion order);
+                              rows are deterministic, so sorting a streamed
+                              transcript reproduces the --json batch
+                              output byte for byte
     -h, --help                show this help
 
 SUBCOMMANDS:
@@ -111,6 +121,8 @@ struct RunOpts {
     scenario_path: Option<String>,
     suffixes_path: Option<String>,
     fork_at: Option<Duration>,
+    sweep_seeds: Option<u32>,
+    sweep_stream: bool,
     /// First world-shaping flag seen, kept so a suffix plan with an
     /// embedded config can reject it at run time (the file is only read
     /// then).
@@ -160,6 +172,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut scenario_path: Option<String> = None;
     let mut suffixes_path: Option<String> = None;
     let mut fork_at: Option<Duration> = None;
+    let mut sweep_seeds: Option<u32> = None;
+    let mut sweep_stream = false;
     let mut world_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -306,6 +320,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 fork_at = Some(Duration::from_secs_f64(secs));
             }
+            "--sweep-seeds" => {
+                let n: u32 = value("--sweep-seeds")?
+                    .parse()
+                    .map_err(|e| format!("--sweep-seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--sweep-seeds: must be at least 1".to_owned());
+                }
+                sweep_seeds = Some(n);
+            }
+            "--sweep-stream" => sweep_stream = true,
             "-h" | "--help" => return Ok(Cli::Help),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -357,6 +381,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
+    if sweep_stream && sweep_seeds.is_none() {
+        return Err("--sweep-stream requires --sweep-seeds".to_owned());
+    }
+    if sweep_seeds.is_some() {
+        for (flag, set) in [
+            ("--resume", resume_path.is_some()),
+            ("--checkpoint-at", checkpoint_at.is_some()),
+            ("--suffixes", suffixes_path.is_some()),
+            ("--scenario", scenario_path.is_some()),
+            ("--record", record_out.is_some()),
+            ("--capture", capture_out.is_some()),
+            ("--metrics-interval", telemetry.metrics_interval.is_some()),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} cannot be combined with --sweep-seeds: a seed \
+                     sweep runs the configured world many times across the \
+                     worker pool and only reports per-row results"
+                ));
+            }
+        }
+    }
     if checkpoint_out.is_some() && checkpoint_at.is_none() {
         return Err("--checkpoint-out requires --checkpoint-at".to_owned());
     }
@@ -386,6 +432,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         scenario_path,
         suffixes_path,
         fork_at,
+        sweep_seeds,
+        sweep_stream,
         world_flag,
     })))
 }
@@ -518,7 +566,69 @@ fn run_scenario_tree(opts: RunOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the configured world across `--sweep-seeds` consecutive seeds on
+/// the experiment worker pool. Every JSON row is built from
+/// [`ddosim::RunResult::to_deterministic_json`] (host-measured timings
+/// excluded), so a `--sweep-stream` transcript (completion order) sorted
+/// by line equals the `--json` batch transcript (index order) byte for
+/// byte — the CI determinism stage diffs exactly that.
+fn run_sweep(opts: RunOpts) -> Result<(), String> {
+    let RunOpts { mut builder, json, telemetry, faults_path, sweep_seeds, sweep_stream, .. } =
+        opts;
+    let n = sweep_seeds.expect("checked by the caller");
+    if let Some(path) = faults_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        builder = builder.faults(ddosim::FaultPlan::parse_str(&text)?);
+    }
+    let base = builder.telemetry(telemetry).config().clone();
+    let configs: Vec<_> = (0..u64::from(n))
+        .map(|i| {
+            let mut config = base.clone();
+            config.seed = base.seed.wrapping_add(i);
+            config
+        })
+        .collect();
+    let seeds: Vec<u64> = configs.iter().map(|c| c.seed).collect();
+    let row_line = |i: usize, outcome: &Result<ddosim::RunResult, String>| {
+        let payload = match outcome {
+            Ok(r) => ("result", r.to_deterministic_json()),
+            Err(msg) => ("error", djson::Json::Str(msg.clone())),
+        };
+        djson::Json::obj([
+            ("index", djson::Json::U64(i as u64)),
+            ("seed", djson::Json::U64(seeds[i])),
+            payload,
+        ])
+        .to_string_compact()
+    };
+    let outcomes = ddosim::try_run_configs_streamed(configs, |i, outcome| {
+        if sweep_stream {
+            println!("{}", row_line(i, outcome));
+        }
+    });
+    if !sweep_stream {
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if json {
+                println!("{}", row_line(i, outcome));
+            } else {
+                match outcome {
+                    Ok(r) => println!("seed={}: {}", seeds[i], summary_line(r)),
+                    Err(msg) => println!("seed={}: error: {msg}", seeds[i]),
+                }
+            }
+        }
+    }
+    let failures = outcomes.iter().filter(|o| o.is_err()).count();
+    if failures > 0 {
+        return Err(format!("{failures} of {} sweep runs failed", outcomes.len()));
+    }
+    Ok(())
+}
+
 fn run(opts: RunOpts) -> Result<(), String> {
+    if opts.sweep_seeds.is_some() {
+        return run_sweep(opts);
+    }
     if opts.suffixes_path.is_some() {
         return run_scenario_tree(opts);
     }
@@ -742,6 +852,17 @@ mod tests {
             (&["--scenario", "p.json", "--resume", "cp.json"], "--resume"),
             (&["--scenario", "p.json", "--checkpoint-at", "10"], "--checkpoint-at"),
             (&["--scenario"], "requires a value"),
+            (&["--sweep-seeds"], "requires a value"),
+            (&["--sweep-seeds", "0"], "at least 1"),
+            (&["--sweep-seeds", "lots"], "--sweep-seeds"),
+            (&["--sweep-stream"], "--sweep-stream requires --sweep-seeds"),
+            (&["--sweep-seeds", "4", "--resume", "cp.json"], "--resume"),
+            (&["--sweep-seeds", "4", "--checkpoint-at", "10"], "--checkpoint-at"),
+            (&["--sweep-seeds", "4", "--suffixes", "p.json"], "--suffixes"),
+            (&["--sweep-seeds", "4", "--scenario", "p.json"], "--scenario"),
+            (&["--sweep-seeds", "4", "--record", "t.json"], "--record"),
+            (&["--sweep-seeds", "4", "--capture", "c.json"], "--capture"),
+            (&["--sweep-seeds", "4", "--metrics-interval", "1"], "--metrics-interval"),
         ];
         for (args, fragment) in table {
             match parse(args) {
@@ -863,6 +984,20 @@ mod tests {
         let opts = run_opts(&["--scenario", "p.json", "--suffixes", "s.json"]);
         assert_eq!(opts.scenario_path.as_deref(), Some("p.json"));
         assert_eq!(opts.suffixes_path.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn sweep_flags_parse_and_compose_with_world_flags() {
+        // World flags shape the base config that every sweep row clones;
+        // only output/state flags conflict.
+        let opts = run_opts(&["--devs", "8", "--sweep-seeds", "5", "--sweep-stream", "--json"]);
+        assert_eq!(opts.sweep_seeds, Some(5));
+        assert!(opts.sweep_stream);
+        assert!(opts.json);
+        assert_eq!(opts.builder.config().devs, 8);
+        let defaults = run_opts(&[]);
+        assert_eq!(defaults.sweep_seeds, None);
+        assert!(!defaults.sweep_stream);
     }
 
     #[test]
