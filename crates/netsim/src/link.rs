@@ -84,20 +84,6 @@ pub(crate) struct LinkDirection {
     pub tx_gen: u64,
 }
 
-impl LinkDirection {
-    fn with_capacity(packets: usize) -> Self {
-        LinkDirection { queue: VecDeque::with_capacity(packets), ..Default::default() }
-    }
-}
-
-/// How many packet slots to preallocate for a drop-tail queue bounded at
-/// `capacity_bytes`: room for small-packet floods (~128-byte frames are the
-/// attack workload) plus the in-flight head, clamped so huge byte budgets
-/// don't reserve megabytes up front.
-pub(crate) fn prealloc_packets(capacity_bytes: u64) -> usize {
-    ((capacity_bytes / 128) + 2).min(1024) as usize
-}
-
 /// A full-duplex point-to-point link between two interfaces.
 #[derive(Debug, Clone)]
 pub struct P2pLink {
@@ -116,11 +102,15 @@ pub struct P2pLink {
 
 impl P2pLink {
     pub(crate) fn new(config: LinkConfig, a: IfaceId, b: IfaceId) -> Self {
-        let cap = prealloc_packets(config.queue_capacity_bytes);
+        // Queues start unallocated and grow on first congestion. Most links
+        // in a 100k-device world never queue a single frame (access links
+        // are idle or uncongested), so eager `with_capacity` buffers were
+        // the dominant resident-memory term at scale — ~8 KiB per link that
+        // only drop-tail hot spots ever used.
         P2pLink {
             config,
             endpoints: [a, b],
-            dirs: [LinkDirection::with_capacity(cap), LinkDirection::with_capacity(cap)],
+            dirs: [LinkDirection::default(), LinkDirection::default()],
             admin_up: true,
             epoch: 0,
         }

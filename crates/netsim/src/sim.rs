@@ -10,7 +10,7 @@ use crate::filter::{FilterRule, FilterStack};
 use crate::fork::{ForkClone, ForkMap, ForkableCall, ForkableFn};
 use crate::ids::{AppId, ChannelId, IfaceId, LinkId, NodeId};
 use crate::link::{LinkConfig, P2pLink};
-use crate::node::{Attachment, Iface, Node, Route};
+use crate::node::{Attachment, Iface, NodeRef, Nodes, Route};
 use crate::packet::{self, Packet, Payload, TransportProto};
 use crate::stats::{DropReason, Stats, TraceHook, TraceKind, TraceRecord};
 use crate::tcp::{ConnId, TcpAction, TcpError, TcpStack};
@@ -200,12 +200,19 @@ pub struct Simulator {
     queue: EventQueue<Event>,
     seq: u64,
     next_packet_id: u64,
-    nodes: Vec<Node>,
+    /// Struct-of-arrays node arena: hot fields (`up`, `forwarding`, route
+    /// tables, rx counters) are dense parallel vectors indexed by
+    /// `NodeId::index`, names are interned `u32` ids. See node.rs.
+    nodes: Nodes,
     ifaces: Vec<Iface>,
     links: Vec<P2pLink>,
     channels: Vec<WifiChannel>,
     apps: Vec<Vec<Option<Box<dyn Application>>>>,
-    tcp: Vec<TcpStack>,
+    /// Per-node TCP stacks, allocated on first use (an incoming
+    /// segment, a listen, or a connect). UDP-only nodes — the vast
+    /// majority of a 100k-device world — pay one pointer here instead
+    /// of an inline stack of map headers.
+    tcp: Vec<Option<Box<TcpStack>>>,
     addr_index: FastMap<IpAddr, IfaceId>,
     /// Whether forwarding resolves destinations through the per-node route
     /// cache (the default) or the reference linear scan. The naive path
@@ -255,7 +262,7 @@ impl Simulator {
             queue: EventQueue::new(),
             seq: 0,
             next_packet_id: 1,
-            nodes: Vec::new(),
+            nodes: Nodes::default(),
             ifaces: Vec::new(),
             links: Vec::new(),
             channels: Vec::new(),
@@ -391,20 +398,21 @@ impl Simulator {
 
     /// Adds a node with the given name.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
         let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(Node::new(name));
+        self.nodes.push(&name);
         self.apps.push(Vec::new());
-        self.tcp.push(TcpStack::new(id));
+        self.tcp.push(None);
         id
     }
 
-    /// Returns a node by id.
+    /// Returns a read-only view of a node in the arena.
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not returned by [`Simulator::add_node`].
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    /// Accessors panic if `id` was not returned by [`Simulator::add_node`].
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef::new(&self.nodes, id.index())
     }
 
     /// Number of nodes.
@@ -414,12 +422,20 @@ impl Simulator {
 
     /// Number of live tcp-lite connections on a node (diagnostics).
     pub fn tcp_conn_count(&self, node: NodeId) -> usize {
-        self.tcp[node.index()].conn_count()
+        self.tcp[node.index()].as_ref().map_or(0, |s| s.conn_count())
+    }
+
+    /// The node's TCP stack, allocated on first touch. A freshly
+    /// materialized stack behaves identically to one allocated at
+    /// `add_node` time (counters start at their initial values either
+    /// way), so laziness never shows up in traces or digests.
+    fn tcp_stack_mut(&mut self, node: NodeId) -> &mut TcpStack {
+        self.tcp[node.index()].get_or_insert_with(|| Box::new(TcpStack::new(node)))
     }
 
     /// Enables or disables unicast forwarding (router behaviour) on a node.
     pub fn set_forwarding(&mut self, node: NodeId, enabled: bool) {
-        self.nodes[node.index()].forwarding = enabled;
+        self.nodes.forwarding[node.index()] = enabled;
     }
 
     /// Enables or disables multicast relaying on a node. A multicast relay
@@ -427,14 +443,21 @@ impl Simulator {
     /// one, modelling the LAN fabric of the paper's simulated network (the
     /// DHCPv6 exploit path needs multicast to reach all Devs).
     pub fn set_multicast_relay(&mut self, node: NodeId, enabled: bool) {
-        self.nodes[node.index()].forward_multicast = enabled;
+        self.nodes.forward_multicast[node.index()] = enabled;
     }
 
     /// Installs an interface with the given addresses on a node.
     pub fn add_iface(&mut self, node: NodeId, addrs: Vec<IpAddr>) -> IfaceId {
         let id = IfaceId::from_index(self.ifaces.len());
         for addr in &addrs {
+            // The local-delivery fast path resolves ownership through this
+            // index, so an address must belong to exactly one interface.
+            debug_assert!(
+                !self.addr_index.contains_key(addr),
+                "address {addr} assigned to two interfaces"
+            );
             self.addr_index.insert(*addr, id);
+            self.nodes.note_addr(node.index(), *addr);
         }
         self.ifaces.push(Iface {
             node,
@@ -442,7 +465,7 @@ impl Simulator {
             attachment: None,
             multicast_groups: Vec::new(),
         });
-        self.nodes[node.index()].ifaces.push(id);
+        self.nodes.ifaces[node.index()].push(id);
         id
     }
 
@@ -527,7 +550,7 @@ impl Simulator {
 
     /// Adds a static route on a node.
     pub fn add_route(&mut self, node: NodeId, prefix: IpAddr, prefix_len: u8, iface: IfaceId) {
-        self.nodes[node.index()].routes.push(Route {
+        self.nodes.routes[node.index()].push(Route {
             prefix,
             prefix_len,
             iface,
@@ -544,35 +567,35 @@ impl Simulator {
     /// returning how many were removed. The node's route cache is
     /// invalidated if anything changed.
     pub fn remove_route(&mut self, node: NodeId, prefix: IpAddr, prefix_len: u8) -> usize {
-        self.nodes[node.index()].routes.remove(prefix, prefix_len)
+        self.nodes.routes[node.index()].remove(prefix, prefix_len)
     }
 
     /// Resolves the egress route for `dst` on `node` exactly as the
     /// forwarding hot path does: through the epoch-invalidated route cache
     /// when enabled (the default), otherwise the reference linear scan
-    /// ([`Node::route_for`]).
+    /// ([`NodeRef::route_for`]).
     pub fn resolve_route(&mut self, node: NodeId, dst: IpAddr) -> Option<Route> {
         if self.route_cache_enabled {
-            self.nodes[node.index()].route_for_cached(dst)
+            self.nodes.routes[node.index()].lookup(dst)
         } else {
-            self.nodes[node.index()].route_for(dst)
+            self.nodes.routes[node.index()].lookup_naive(dst)
         }
     }
 
-    /// First address of the given family on any of the node's interfaces.
+    /// First address of the given family on any of the node's interfaces
+    /// (in interface install order). Interface address lists are
+    /// append-only, so the arena memoizes the answer per family.
     pub fn node_addr(&self, node: NodeId, want_v6: bool) -> Option<IpAddr> {
-        self.nodes[node.index()]
-            .ifaces
-            .iter()
-            .flat_map(|i| self.ifaces[i.index()].addrs.iter())
-            .find(|a| a.is_ipv6() == want_v6)
-            .copied()
+        if want_v6 {
+            self.nodes.first_v6[node.index()]
+        } else {
+            self.nodes.first_v4[node.index()]
+        }
     }
 
     /// The node's primary (first) address.
     pub fn primary_addr(&self, node: NodeId) -> Option<IpAddr> {
-        self.nodes[node.index()]
-            .ifaces
+        self.nodes.ifaces[node.index()]
             .first()
             .and_then(|i| self.ifaces[i.index()].addrs.first())
             .copied()
@@ -621,12 +644,14 @@ impl Simulator {
         {
             *slot = None;
         }
-        let node = &mut self.nodes[id.node.index()];
-        node.udp_binds.retain(|_, owner| *owner != id);
+        self.nodes.udp_binds[id.node.index()].retain(|_, owner| *owner != id);
         // A dead process's sockets do not linger: close its connections
         // (FIN notifies the peers) and release its listeners. On a node
         // that is already down the stack was reset, so nothing escapes.
-        let actions = self.tcp[id.node.index()].close_owned_by(id);
+        let actions = match self.tcp[id.node.index()].as_mut() {
+            Some(stack) => stack.close_owned_by(id),
+            None => Vec::new(),
+        };
         self.process_tcp_actions(id.node, actions);
     }
 
@@ -645,16 +670,16 @@ impl Simulator {
     /// state and notifying its applications. Prefer
     /// [`Simulator::schedule_node_admin`] from within application callbacks.
     pub fn set_node_admin(&mut self, node: NodeId, up: bool) {
-        let n = &mut self.nodes[node.index()];
-        if n.up == up {
+        let idx = node.index();
+        if self.nodes.up[idx] == up {
             return;
         }
-        n.up = up;
+        self.nodes.up[idx] = up;
         // Admin flaps invalidate the node's route cache: resolution itself
         // does not read admin state today, but keeping the cache's epoch in
         // lockstep with topology-affecting changes is cheap and means a
         // future admin-aware lookup cannot silently serve stale entries.
-        n.routes.invalidate();
+        self.nodes.routes[idx].invalidate();
         self.telemetry.record_event(
             self.now.as_nanos(),
             Some(node.index() as u32),
@@ -662,14 +687,14 @@ impl Simulator {
             || {
                 format!(
                     "{} {}",
-                    self.nodes[node.index()].name(),
+                    self.nodes.name(node.index()),
                     if up { "up" } else { "down" }
                 )
             },
         );
         if !up {
             // Flush egress queues on all attached links/channels.
-            let ifaces = self.nodes[node.index()].ifaces.clone();
+            let ifaces = self.nodes.ifaces[node.index()].clone();
             for iface in ifaces {
                 match self.ifaces[iface.index()].attachment {
                     Some(Attachment::P2p { link, .. }) => {
@@ -693,7 +718,9 @@ impl Simulator {
                     None => {}
                 }
             }
-            self.tcp[node.index()].reset_all();
+            if let Some(stack) = self.tcp[node.index()].as_mut() {
+                stack.reset_all();
+            }
         }
         let app_count = self.apps[node.index()].len();
         for slot in 0..app_count {
@@ -737,7 +764,7 @@ impl Simulator {
         for side in 0..2 {
             let iface = self.links[link.index()].endpoints[side];
             let node = self.ifaces[iface.index()].node;
-            self.nodes[node.index()].routes.invalidate();
+            self.nodes.routes[node.index()].invalidate();
         }
         let l = &mut self.links[link.index()];
         let mut flushed = 0;
@@ -786,8 +813,7 @@ impl Simulator {
     /// The point-to-point links attached to `node`'s interfaces, in
     /// interface order (a star member's single access link comes first).
     pub fn node_p2p_links(&self, node: NodeId) -> Vec<LinkId> {
-        self.nodes[node.index()]
-            .ifaces
+        self.nodes.ifaces[node.index()]
             .iter()
             .filter_map(|i| match self.ifaces[i.index()].attachment {
                 Some(Attachment::P2p { link, .. }) => Some(link),
@@ -926,10 +952,12 @@ impl Simulator {
         }
         layers.push(("netsim.queue", h.finish()));
 
+        // Nodes: walked through the arena, emitting per node the exact byte
+        // sequence the pre-arena per-struct digest produced.
         let mut h = StateHasher::new();
         h.write_usize(self.nodes.len());
-        for node in &self.nodes {
-            node.state_digest(&mut h);
+        for idx in 0..self.nodes.len() {
+            self.nodes.node_digest(idx, &mut h);
         }
         h.write_usize(self.ifaces.len());
         for iface in &self.ifaces {
@@ -953,8 +981,13 @@ impl Simulator {
 
         let mut h = StateHasher::new();
         h.write_usize(self.tcp.len());
-        for stack in &self.tcp {
-            stack.state_digest(&mut h);
+        for (i, stack) in self.tcp.iter().enumerate() {
+            match stack {
+                Some(s) => s.state_digest(&mut h),
+                // A never-touched stack digests as a fresh one: lazy
+                // allocation is invisible to the determinism surface.
+                None => TcpStack::new(NodeId::from_index(i)).state_digest(&mut h),
+            }
         }
         layers.push(("netsim.tcp", h.finish()));
 
@@ -1125,7 +1158,7 @@ impl Simulator {
                 self.on_wifi_tx_complete(chan, station, gen)
             }
             Event::TcpRto { node, conn, seq } => {
-                let actions = self.tcp[node.index()].on_rto(conn, seq);
+                let actions = self.tcp_stack_mut(node).on_rto(conn, seq);
                 if !actions.is_empty() {
                     self.telemetry.record_event(
                         self.now.as_nanos(),
@@ -1206,26 +1239,28 @@ impl Simulator {
     }
 
     fn is_local_addr(&self, node: NodeId, addr: IpAddr) -> bool {
-        self.nodes[node.index()]
-            .ifaces
-            .iter()
-            .any(|i| self.ifaces[i.index()].addrs.contains(&addr))
+        // One index probe + a `u32` node-id compare, instead of scanning
+        // the node's interface address lists. `add_iface` asserts each
+        // address belongs to exactly one interface, so the probe is
+        // authoritative.
+        self.addr_index
+            .get(&addr)
+            .map_or(false, |i| self.ifaces[i.index()].node == node)
     }
 
     fn joined_multicast(&self, node: NodeId, group: IpAddr) -> bool {
-        self.nodes[node.index()]
-            .ifaces
+        self.nodes.ifaces[node.index()]
             .iter()
             .any(|i| self.ifaces[i.index()].multicast_groups.contains(&group))
     }
 
     fn route_and_transmit(&mut self, node: NodeId, packet: Packet, ingress: Option<IfaceId>) {
-        if !self.nodes[node.index()].up {
+        if !self.nodes.up[node.index()] {
             self.drop_packet(DropReason::NodeDown, node, &packet);
             return;
         }
         if packet.is_multicast() {
-            let ifaces = self.nodes[node.index()].ifaces.clone();
+            let ifaces = self.nodes.ifaces[node.index()].clone();
             for iface in ifaces {
                 if Some(iface) == ingress {
                     continue;
@@ -1239,7 +1274,7 @@ impl Simulator {
         let dst = packet.dst.ip();
         if self.is_local_addr(node, dst) {
             // Loopback delivery through the event queue (no reentrancy).
-            let iface = self.nodes[node.index()].ifaces.first().copied();
+            let iface = self.nodes.ifaces[node.index()].first().copied();
             if let Some(iface) = iface {
                 self.schedule(self.now, Event::Deliver { iface, packet, epoch: None });
             }
@@ -1313,8 +1348,7 @@ impl Simulator {
     /// per-node access-link congestion (e.g. the TServer uplink during the
     /// attack window).
     pub fn node_link_buffered_bytes(&self, node: NodeId) -> u64 {
-        self.nodes[node.index()]
-            .ifaces
+        self.nodes.ifaces[node.index()]
             .iter()
             .filter_map(|i| match self.ifaces[i.index()].attachment {
                 Some(Attachment::P2p { link, .. }) => {
@@ -1440,7 +1474,7 @@ impl Simulator {
             let iface = self.channels[chan.index()].stations[station].iface;
             self.ifaces[iface.index()].node
         };
-        if !self.nodes[node.index()].up {
+        if !self.nodes.up[node.index()] {
             let before = self.channels[chan.index()].buffered_bytes();
             let n = self.channels[chan.index()].flush_station(station);
             let after = self.channels[chan.index()].buffered_bytes();
@@ -1598,7 +1632,7 @@ impl Simulator {
                 return;
             }
         }
-        if !self.nodes[node.index()].up {
+        if !self.nodes.up[node.index()] {
             self.drop_packet(DropReason::NodeDown, node, &packet);
             return;
         }
@@ -1619,7 +1653,7 @@ impl Simulator {
             if self.joined_multicast(node, dst) {
                 self.deliver_up(node, packet.clone());
             }
-            if self.nodes[node.index()].forward_multicast && packet.ttl > 1 {
+            if self.nodes.forward_multicast[node.index()] && packet.ttl > 1 {
                 packet.ttl -= 1;
                 self.trace(TraceKind::Forwarded, node, &packet);
                 self.route_and_transmit(node, packet, Some(iface));
@@ -1630,7 +1664,7 @@ impl Simulator {
             self.deliver_up(node, packet);
             return;
         }
-        if self.nodes[node.index()].forwarding {
+        if self.nodes.forwarding[node.index()] {
             if packet.ttl <= 1 {
                 self.drop_packet(DropReason::TtlExpired, node, &packet);
                 return;
@@ -1644,15 +1678,12 @@ impl Simulator {
     }
 
     fn deliver_up(&mut self, node: NodeId, packet: Packet) {
-        {
-            let n = &mut self.nodes[node.index()];
-            n.rx_packets += 1;
-            n.rx_bytes += u64::from(packet.wire_bytes());
-        }
+        self.nodes.rx_packets[node.index()] += 1;
+        self.nodes.rx_bytes[node.index()] += u64::from(packet.wire_bytes());
         match packet.proto {
             TransportProto::Udp => {
                 let port = packet.dst.port();
-                match self.nodes[node.index()].udp_binds.get(&port).copied() {
+                match self.nodes.udp_binds[node.index()].get(&port).copied() {
                     Some(app) => {
                         self.stats.packets_delivered += 1;
                         self.stats.bytes_delivered += u64::from(packet.wire_bytes());
@@ -1666,7 +1697,7 @@ impl Simulator {
                 self.stats.packets_delivered += 1;
                 self.stats.bytes_delivered += u64::from(packet.wire_bytes());
                 self.trace(TraceKind::Delivered, node, &packet);
-                let actions = self.tcp[node.index()].on_segment(&packet);
+                let actions = self.tcp_stack_mut(node).on_segment(&packet);
                 self.process_tcp_actions(node, actions);
             }
         }
@@ -1726,7 +1757,7 @@ impl Ctx<'_> {
 
     /// Whether this node is currently up.
     pub fn node_is_up(&self) -> bool {
-        self.sim.nodes[self.app_id.node.index()].up
+        self.sim.nodes.up[self.app_id.node.index()]
     }
 
     /// This node's first address of the requested family.
@@ -1748,7 +1779,7 @@ impl Ctx<'_> {
     ///
     /// Returns [`NetError::PortInUse`] if another app bound the port.
     pub fn udp_bind(&mut self, port: u16) -> Result<(), NetError> {
-        let binds = &mut self.sim.nodes[self.app_id.node.index()].udp_binds;
+        let binds = &mut self.sim.nodes.udp_binds[self.app_id.node.index()];
         if binds.contains_key(&port) {
             return Err(NetError::PortInUse);
         }
@@ -1758,15 +1789,15 @@ impl Ctx<'_> {
 
     /// Binds an ephemeral UDP port and returns it.
     pub fn udp_bind_ephemeral(&mut self) -> u16 {
-        let node = &mut self.sim.nodes[self.app_id.node.index()];
-        let port = node.alloc_ephemeral_port();
-        node.udp_binds.insert(port, self.app_id);
+        let idx = self.app_id.node.index();
+        let port = self.sim.nodes.alloc_ephemeral_port(idx);
+        self.sim.nodes.udp_binds[idx].insert(port, self.app_id);
         port
     }
 
     /// Releases a UDP port bound by this application.
     pub fn udp_unbind(&mut self, port: u16) {
-        let binds = &mut self.sim.nodes[self.app_id.node.index()].udp_binds;
+        let binds = &mut self.sim.nodes.udp_binds[self.app_id.node.index()];
         if binds.get(&port) == Some(&self.app_id) {
             binds.remove(&port);
         }
@@ -1810,7 +1841,7 @@ impl Ctx<'_> {
     /// Joins a multicast group on all of this node's interfaces.
     pub fn join_multicast(&mut self, group: IpAddr) {
         debug_assert!(packet::is_multicast(group), "not a multicast group");
-        let ifaces = self.sim.nodes[self.app_id.node.index()].ifaces.clone();
+        let ifaces = self.sim.nodes.ifaces[self.app_id.node.index()].clone();
         for iface in ifaces {
             let groups = &mut self.sim.ifaces[iface.index()].multicast_groups;
             if !groups.contains(&group) {
@@ -1835,7 +1866,7 @@ impl Ctx<'_> {
     ///
     /// Returns [`TcpError::PortInUse`] if another app is listening.
     pub fn tcp_listen(&mut self, port: u16) -> Result<(), TcpError> {
-        self.sim.tcp[self.app_id.node.index()].listen(port, self.app_id)
+        self.sim.tcp_stack_mut(self.app_id.node).listen(port, self.app_id)
     }
 
     /// Initiates a connection to `peer`; completion is signalled with
@@ -1854,7 +1885,7 @@ impl Ctx<'_> {
             .node_addr(self.app_id.node, peer.is_ipv6())
             .ok_or(NetError::NoAddress)?;
         let node = self.app_id.node;
-        let (conn, actions) = self.sim.tcp[node.index()].connect(self.app_id, local, peer);
+        let (conn, actions) = self.sim.tcp_stack_mut(node).connect(self.app_id, local, peer);
         self.sim.process_tcp_actions(node, actions);
         Ok(conn)
     }
@@ -1867,7 +1898,7 @@ impl Ctx<'_> {
     /// established.
     pub fn tcp_send(&mut self, conn: ConnId, payload: Payload, bytes: u32) -> Result<(), TcpError> {
         let node = self.app_id.node;
-        let actions = self.sim.tcp[node.index()].send(conn, payload, bytes)?;
+        let actions = self.sim.tcp_stack_mut(node).send(conn, payload, bytes)?;
         self.sim.process_tcp_actions(node, actions);
         Ok(())
     }
@@ -1875,18 +1906,22 @@ impl Ctx<'_> {
     /// Closes a connection (best-effort FIN).
     pub fn tcp_close(&mut self, conn: ConnId) {
         let node = self.app_id.node;
-        let actions = self.sim.tcp[node.index()].close(conn);
+        let actions = self.sim.tcp_stack_mut(node).close(conn);
         self.sim.process_tcp_actions(node, actions);
     }
 
     /// Whether a connection is currently established.
     pub fn tcp_is_established(&self, conn: ConnId) -> bool {
-        self.sim.tcp[self.app_id.node.index()].is_established(conn)
+        self.sim.tcp[self.app_id.node.index()]
+            .as_ref()
+            .is_some_and(|s| s.is_established(conn))
     }
 
     /// Stops listening on a port previously passed to [`Ctx::tcp_listen`].
     pub fn tcp_unlisten(&mut self, port: u16) {
-        self.sim.tcp[self.app_id.node.index()].unlisten(port);
+        if let Some(stack) = self.sim.tcp[self.app_id.node.index()].as_mut() {
+            stack.unlisten(port);
+        }
     }
 
     // ----- process / node management -----
@@ -2321,7 +2356,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert!(!sim.app_exists(id));
         // Port was released.
-        assert!(sim.node(n).udp_binds.is_empty());
+        assert!(sim.node(n).udp_binds().is_empty());
     }
 
     #[test]

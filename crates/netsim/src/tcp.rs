@@ -12,7 +12,7 @@
 use crate::fastmap::FastMap;
 use crate::ids::{AppId, NodeId};
 use crate::packet::{Packet, Payload, TransportProto};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::{IpAddr, SocketAddr};
 use std::time::Duration;
@@ -142,89 +142,123 @@ struct Conn {
     recv_buffer: BTreeMap<u64, (Payload, u32)>,
 }
 
+/// Where a connection lives in the slab: a slot index plus the generation
+/// the slot had when the connection moved in. A vacated slot bumps its
+/// generation, so a reference from a previous tenancy can never resolve to
+/// the new occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotRef {
+    slot: u32,
+    gen: u32,
+}
+
 /// Slab of connections keyed by their sequentially-allocated `u64` id.
 ///
 /// Connection ids start at 1 and only ever count up (they appear verbatim
 /// in telemetry traces, so allocation order is part of the deterministic
-/// surface — ids are never reused). That makes a dense slab the natural
-/// store: slot `id - base` in a deque, with fully-drained slots compacted
-/// off the front. Lookup is a bounds check and an index instead of a hash;
-/// memory is bounded by the span between the oldest and newest live
-/// connection (an empty slot is one `Option<Box<Conn>>` — 8 bytes).
+/// surface — ids are never reused). *Slots*, however, are reused: a
+/// removed connection pushes its slot onto a LIFO free list with a bumped
+/// generation tag, and the next insert takes it back. Memory is therefore
+/// proportional to the peak number of simultaneously live connections —
+/// not, as with the earlier front-compacted deque, to the id span between
+/// the oldest and newest live connection (one long-lived C&C session used
+/// to pin a slot for every short-lived scan connection allocated after
+/// it). The free list is plain data, so reuse order is deterministic; id
+/// ordering for digests comes from sorting the id index, never from slot
+/// or hash order.
 #[derive(Debug, Default, Clone)]
 struct ConnSlab {
-    /// The connection id of `slots[0]` (meaningless while `slots` is empty).
-    base: u64,
-    slots: VecDeque<Option<Box<Conn>>>,
-    live: usize,
+    slots: Vec<Option<Box<Conn>>>,
+    /// Generation per slot, bumped each time the slot is vacated.
+    gens: Vec<u32>,
+    /// Live connection ids → their slot (with the generation stamped at
+    /// insert). Never iterated directly into anything ordered.
+    index: FastMap<u64, SlotRef>,
+    /// Vacated slots available for reuse, last-vacated first (LIFO).
+    free: Vec<u32>,
 }
 
 impl ConnSlab {
-    /// Inserts a connection under `id`. Ids must be allocated sequentially
-    /// (each insert's id is at least `base + slots.len()`); gaps from
-    /// never-inserted ids are padded with empty slots.
+    /// Inserts a connection under a fresh `id`, reusing the most recently
+    /// vacated slot if one exists.
     fn insert(&mut self, id: u64, conn: Conn) {
-        if self.live == 0 {
-            self.slots.clear();
-            self.base = id;
-        }
-        debug_assert!(id >= self.base + self.slots.len() as u64, "conn ids are sequential");
-        while self.base + (self.slots.len() as u64) < id {
-            self.slots.push_back(None);
-        }
-        self.slots.push_back(Some(Box::new(conn)));
-        self.live += 1;
+        debug_assert!(!self.index.contains_key(&id), "conn ids are never reused");
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("< 2^32 live conns");
+                self.slots.push(None);
+                self.gens.push(0);
+                slot
+            }
+        };
+        self.slots[slot as usize] = Some(Box::new(conn));
+        self.index.insert(id, SlotRef { slot, gen: self.gens[slot as usize] });
     }
 
-    fn index_of(&self, id: u64) -> Option<usize> {
-        let idx = id.checked_sub(self.base)?;
-        (idx < self.slots.len() as u64).then_some(idx as usize)
+    fn resolve(&self, id: u64) -> Option<u32> {
+        let r = *self.index.get(&id)?;
+        // The index only holds live ids, so the generation always matches;
+        // the check is the slab's self-consistency guard.
+        debug_assert_eq!(self.gens[r.slot as usize], r.gen, "stale slot reference");
+        (self.gens[r.slot as usize] == r.gen).then_some(r.slot)
     }
 
     fn get(&self, id: u64) -> Option<&Conn> {
-        self.slots.get(self.index_of(id)?)?.as_deref()
+        self.slots[self.resolve(id)? as usize].as_deref()
     }
 
     fn get_mut(&mut self, id: u64) -> Option<&mut Conn> {
-        let idx = self.index_of(id)?;
-        self.slots.get_mut(idx)?.as_deref_mut()
+        let slot = self.resolve(id)?;
+        self.slots[slot as usize].as_deref_mut()
     }
 
     fn remove(&mut self, id: u64) -> Option<Box<Conn>> {
-        let idx = self.index_of(id)?;
-        let conn = self.slots.get_mut(idx)?.take()?;
-        self.live -= 1;
-        if self.live == 0 {
-            self.slots.clear();
-        } else {
-            while matches!(self.slots.front(), Some(None)) {
-                self.slots.pop_front();
-                self.base += 1;
-            }
-        }
+        let slot = self.resolve(id)?;
+        self.index.remove(&id);
+        let conn = self.slots[slot as usize].take()?;
+        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+        self.free.push(slot);
         Some(conn)
     }
 
     fn clear(&mut self) {
         self.slots.clear();
-        self.live = 0;
+        self.gens.clear();
+        self.index.clear();
+        self.free.clear();
     }
 
     fn len(&self) -> usize {
-        self.live
+        self.index.len()
     }
 
-    /// Live connections, in ascending id order (deterministic).
+    /// Live connections, in slot order — only for order-insensitive scans
+    /// (`alloc_port`'s `any`); anything ordered must use [`ConnSlab::iter`].
     fn values(&self) -> impl Iterator<Item = &Conn> {
         self.slots.iter().filter_map(|s| s.as_deref())
     }
 
     /// Live `(id, conn)` pairs, in ascending id order (deterministic).
     fn iter(&self) -> impl Iterator<Item = (u64, &Conn)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| Some((self.base + i as u64, s.as_deref()?)))
+        let mut ids: Vec<(u64, u32)> =
+            self.index.iter().map(|(id, r)| (*id, r.slot)).collect();
+        ids.sort_unstable_by_key(|(id, _)| *id);
+        ids.into_iter().map(|(id, slot)| {
+            (
+                id,
+                self.slots[slot as usize]
+                    .as_deref()
+                    .expect("indexed slot is live"),
+            )
+        })
+    }
+
+    /// Total slots ever allocated — the slab's memory footprint in units of
+    /// `Option<Box<Conn>>`. Bounded by peak simultaneous liveness.
+    #[cfg(test)]
+    fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -281,7 +315,7 @@ impl TcpStack {
     fn alloc_port(&mut self) -> u16 {
         // One full wrap of the ephemeral range, then give up loudly: an
         // unbounded loop here spins forever once every port is taken.
-        let range = crate::node::Node::EPHEMERAL_RANGE;
+        let range = crate::node::EPHEMERAL_RANGE;
         let span = u32::from(*range.end() - *range.start()) + 1;
         for _ in 0..span {
             let p = self.next_ephemeral;
@@ -733,6 +767,7 @@ impl TcpStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn app(node: u32) -> AppId {
         AppId {
@@ -944,5 +979,83 @@ mod tests {
         assert_eq!(client.conn_count(), 1);
         client.reset_all();
         assert_eq!(client.conn_count(), 0);
+    }
+
+    /// A throwaway connection for direct slab tests.
+    fn dummy_conn(tag: u64) -> Conn {
+        Conn {
+            owner: app(0),
+            local_addr: IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+            local_port: 49152,
+            peer: addr(2, 80),
+            state: ConnState::Established,
+            next_send_seq: tag,
+            unacked: FastMap::default(),
+            handshake_retries: 0,
+            recv_next: 0,
+            recv_buffer: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn slab_reuses_slots_and_iterates_by_id() {
+        let mut slab = ConnSlab::default();
+        slab.insert(1, dummy_conn(1));
+        slab.insert(2, dummy_conn(2));
+        slab.insert(3, dummy_conn(3));
+        assert!(slab.remove(2).is_some());
+        // Id 4 reuses id 2's slot (LIFO free list), but iteration stays
+        // ascending by id regardless of slot layout.
+        slab.insert(4, dummy_conn(4));
+        assert_eq!(slab.slot_capacity(), 3);
+        let ids: Vec<u64> = slab.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+        assert_eq!(slab.get(4).map(|c| c.next_send_seq), Some(4));
+        assert!(slab.get(2).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Long insert/remove churn keeps slab memory proportional to the
+        /// peak number of simultaneously live connections, not to the total
+        /// number of ids ever allocated (ids are never reused, slots are).
+        #[test]
+        fn slab_churn_memory_tracks_peak_liveness(
+            ops in proptest::collection::vec(0u8..4, 1..400),
+        ) {
+            let mut slab = ConnSlab::default();
+            let mut live: Vec<u64> = Vec::new();
+            let mut next_id = 1u64;
+            let mut peak_live = 0usize;
+            for op in ops {
+                if op == 0 && !live.is_empty() {
+                    // Remove the oldest live conn (op value keeps the mix
+                    // ~3:1 insert-heavy so liveness actually churns).
+                    let id = live.remove(0);
+                    prop_assert!(slab.remove(id).is_some());
+                } else {
+                    let id = next_id;
+                    next_id += 1;
+                    slab.insert(id, dummy_conn(id));
+                    live.push(id);
+                }
+                peak_live = peak_live.max(live.len());
+                prop_assert_eq!(slab.len(), live.len());
+            }
+            // The memory bound under test: total slots ever allocated never
+            // exceeds peak simultaneous liveness, even though `next_id` can
+            // be far larger.
+            prop_assert!(
+                slab.slot_capacity() <= peak_live,
+                "slots {} > peak live {}",
+                slab.slot_capacity(),
+                peak_live
+            );
+            // Determinism of the ordered view: ascending ids, exactly the
+            // live set.
+            let ids: Vec<u64> = slab.iter().map(|(id, _)| id).collect();
+            prop_assert_eq!(ids, live);
+        }
     }
 }

@@ -11,7 +11,7 @@ use crate::link::LinkConfig;
 use crate::sim::Simulator;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
-/// Allocates dual-stack addresses: `10.0.<hi>.<lo>` and `fd00::<n>`.
+/// Allocates dual-stack addresses out of `10.0.0.0/8` and `fd00::/16`.
 #[derive(Debug, Clone)]
 pub struct AddrAllocator {
     next: u32,
@@ -25,14 +25,25 @@ impl AddrAllocator {
 
     /// Allocates the next dual-stack (v4, v6) address pair.
     ///
+    /// Host numbers map little-octet-first into `10.x.y.z`, so the first
+    /// 65534 pairs are bit-identical to the historical `/16` allocator
+    /// (pinned by recorded traces); beyond that the third byte of the
+    /// network part starts counting, opening the space to ~16.7M hosts for
+    /// million-device worlds.
+    ///
     /// # Panics
     ///
-    /// Panics after 65534 allocations (the 10.0.0.0/16 host space).
+    /// Panics after 2^24 - 2 allocations (the 10.0.0.0/8 host space).
     pub fn next_pair(&mut self) -> (IpAddr, IpAddr) {
         let n = self.next;
-        assert!(n < 0xFFFF, "address space exhausted");
+        assert!(n < 0x0100_0000, "address space exhausted");
         self.next += 1;
-        let v4 = IpAddr::V4(Ipv4Addr::new(10, 0, (n >> 8) as u8, (n & 0xFF) as u8));
+        let v4 = IpAddr::V4(Ipv4Addr::new(
+            10,
+            ((n >> 16) & 0xFF) as u8,
+            ((n >> 8) & 0xFF) as u8,
+            (n & 0xFF) as u8,
+        ));
         let v6 = IpAddr::V6(Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, (n >> 16) as u16, n as u16));
         (v4, v6)
     }
@@ -379,6 +390,23 @@ mod tests {
         }
         let (v4, _) = a.next_pair();
         assert_eq!(v4, IpAddr::V4(Ipv4Addr::new(10, 0, 1, 0)));
+    }
+
+    #[test]
+    fn allocator_widens_past_the_old_16_bit_space() {
+        let mut a = AddrAllocator::new();
+        for _ in 0..0xFFFE {
+            a.next_pair();
+        }
+        // Host 0xFFFF is the first beyond the old /16 allocator's panic
+        // point; everything before it must stay bit-identical (pinned by
+        // recorded traces), and the third byte takes over afterwards.
+        let (v4, v6) = a.next_pair();
+        assert_eq!(v4, IpAddr::V4(Ipv4Addr::new(10, 0, 255, 255)));
+        assert_eq!(v6, IpAddr::V6(Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 0xFFFF)));
+        let (v4, v6) = a.next_pair();
+        assert_eq!(v4, IpAddr::V4(Ipv4Addr::new(10, 1, 0, 0)));
+        assert_eq!(v6, IpAddr::V6(Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 1, 0)));
     }
 
     #[derive(Default)]

@@ -108,10 +108,11 @@ impl WifiChannel {
     }
 
     pub(crate) fn add_station(&mut self, iface: IfaceId) -> usize {
-        let cap = crate::link::prealloc_packets(self.config.queue_capacity_bytes);
+        // The per-station queue starts unallocated and grows on first
+        // contention; preallocating for the byte cap cost ~8 KiB per idle
+        // station at scale.
         self.stations.push(Station {
             iface,
-            queue: VecDeque::with_capacity(cap),
             ..Station::default()
         });
         self.stations.len() - 1

@@ -55,9 +55,16 @@ stage_build() {
     # Hot-path hashing gate: the forwarding fast path (addr index, route
     # tables, TCP demux) must stay on the deterministic FastMap wrappers; a
     # bare std HashMap would quietly reintroduce per-process RandomState.
+    # Node names are likewise interned (NameId) so the arena stays
+    # struct-of-arrays; a `name: String` field would silently reintroduce a
+    # heap allocation per node and blow the 2 KiB/device memory budget.
     for hot in crates/netsim/src/sim.rs crates/netsim/src/node.rs crates/netsim/src/tcp.rs; do
         if grep -n 'HashMap' "$hot"; then
             echo "error: $hot mentions HashMap; hot paths use netsim::fastmap::FastMap" >&2
+            exit 1
+        fi
+        if grep -nE 'names?: *(Vec<)?String' "$hot"; then
+            echo "error: $hot holds owned String node names; intern them via netsim::NameInterner (NameId)" >&2
             exit 1
         fi
     done

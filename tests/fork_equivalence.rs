@@ -133,8 +133,57 @@ fn suffix_sweep_identity_trace_is_byte_identical_to_straight_through() {
     assert_ne!(straight, trace(1), "reseeded suffix failed to diverge");
 }
 
+/// A five-figure world built on the struct-of-arrays arena and flyweight
+/// firmware: forking it must reproduce every layer digest exactly
+/// (`fork_with_seed` itself re-verifies layer by layer and errors on the
+/// first mismatch), and the fork must remain independently runnable.
+#[test]
+fn ten_thousand_device_fork_is_digest_identical_to_parent() {
+    let mut parent = SimulationBuilder::new()
+        .devs(10_000)
+        .attack(AttackSpec::udp_plain(Duration::from_secs(10)))
+        .attack_at(Duration::from_secs(40))
+        .sim_time(Duration::from_secs(60))
+        .seed(1234)
+        .build()
+        .expect("valid configuration");
+    parent.run_prefix(Duration::from_secs(1)).expect("prefix runs");
+    let fork = parent.fork_with_seed(0).expect("world forks");
+    assert_eq!(
+        parent.state_digests(),
+        fork.state_digests(),
+        "10k-device fork diverged from its parent"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Pausing a world at an arbitrary mark — and sampling its digests
+    /// there, which must be a pure read — then continuing must land on
+    /// exactly the layer digests of an uninterrupted run of the same
+    /// world. This pins the struct-of-arrays arena's digest order to the
+    /// simulation's observable state, not to construction history.
+    #[test]
+    fn paused_run_digests_equal_straight_rebuild(
+        seed in 0u64..1000,
+        mark in 5u64..20,
+        end in 21u64..40,
+    ) {
+        let mut straight = base(seed, TopologyKind::Star).build().expect("valid configuration");
+        straight.run_prefix(Duration::from_secs(end)).expect("straight run");
+
+        let mut paused = base(seed, TopologyKind::Star).build().expect("valid configuration");
+        paused.run_prefix(Duration::from_secs(mark)).expect("prefix runs");
+        let _probe = paused.state_digests();
+        paused.run_prefix(Duration::from_secs(end)).expect("suffix runs");
+
+        prop_assert_eq!(
+            straight.state_digests(),
+            paused.state_digests(),
+            "digests at the checkpoint mark depend on how the run got there"
+        );
+    }
 
     /// Random fork points and seeds: equal fork seeds are byte-identical
     /// to each other; distinct seeds share the 0→T event prefix exactly
