@@ -33,8 +33,10 @@ use std::time::Duration;
 use tinyvm::{ProtectionMix, Protections};
 
 /// Renders a panic payload (the `Box<dyn Any>` from [`catch_unwind`]) as
-/// the message string it almost always carries.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// the message string it almost always carries. Public so every per-row
+/// isolation site (sweeps, scenario grids, serve-mode jobs) reports
+/// panics the same way.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -55,7 +57,7 @@ static INSTALL_LOCATION_HOOK: Once = Once::new();
 /// hook. [`catch_unwind`] only yields the payload; the location lives in
 /// the hook's `PanicHookInfo`, so without this a worker panic reports
 /// *what* fired but not *where*.
-fn install_location_hook() {
+pub fn install_location_hook() {
     INSTALL_LOCATION_HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
@@ -68,8 +70,9 @@ fn install_location_hook() {
     });
 }
 
-/// Takes (and clears) the location of the current thread's last panic.
-fn take_panic_location() -> String {
+/// Takes (and clears) the location of the current thread's last panic,
+/// rendered as ` at file:line` (empty when no location was captured).
+pub fn take_panic_location() -> String {
     LAST_PANIC_LOCATION
         .with(|c| c.borrow_mut().take())
         .map(|l| format!(" at {l}"))

@@ -46,8 +46,9 @@ pub use config::{
     SimulationConfig, TopologyKind,
 };
 pub use experiment::{
-    crn_compare, run_configs, run_suffixes, run_suffixes_streamed, run_suffixes_traced,
-    try_run_configs, try_run_configs_streamed, CrnComparison, SuffixOutcome,
+    crn_compare, install_location_hook, panic_message, run_configs, run_suffixes,
+    run_suffixes_streamed, run_suffixes_traced, take_panic_location, try_run_configs,
+    try_run_configs_streamed, CrnComparison, SuffixOutcome,
 };
 pub use honeypot::Honeypot;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, PlanError, FAULT_PLAN_SCHEMA};

@@ -35,4 +35,5 @@ pub use exec::SCENARIO_TAG;
 pub use plan::{DefenseSpec, RivalSpec, ScenarioPlan, SCENARIO_SCHEMA};
 pub use sweep::{
     patch_rollout_grid, rate_limit_grid, run_grid_streamed, takedown_grid, CellOutcome, GridCell,
+    SweepGridPlan, SWEEPGRID_SCHEMA,
 };

@@ -11,7 +11,10 @@
 //! [`ddosim_core::try_run_configs_streamed`].
 
 use crate::plan::{DefenseSpec, ScenarioPlan};
-use ddosim_core::{Ddosim, RngPlan, RunResult};
+use ddosim_core::{
+    install_location_hook, panic_message, take_panic_location, Ddosim, RngPlan, RunResult,
+};
+use djson::Json;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -196,6 +199,7 @@ pub fn run_grid_streamed(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n.max(1));
+    install_location_hook();
     let next = AtomicUsize::new(0);
     let mut rows: Vec<Option<Result<RunResult, String>>> = (0..n).map(|_| None).collect();
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<RunResult, String>)>();
@@ -219,14 +223,11 @@ pub fn run_grid_streamed(
                     Ok(Err(msg)) => {
                         Err(format!("cell {c} replicate {r} invalid: {msg}"))
                     }
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<String>()
-                            .cloned()
-                            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                            .unwrap_or_else(|| "non-string panic payload".to_owned());
-                        Err(format!("cell {c} replicate {r} panicked: {msg}"))
-                    }
+                    Err(payload) => Err(format!(
+                        "cell {c} replicate {r} panicked{}: {}",
+                        take_panic_location(),
+                        panic_message(&*payload)
+                    )),
                 };
                 if tx.send((j, outcome)).is_err() {
                     break;
@@ -266,6 +267,112 @@ pub fn run_grid_streamed(
             }
         })
         .collect()
+}
+
+/// Schema tag for checked-in grid-sweep plans (`plans/*.sweep.json`).
+pub const SWEEPGRID_SCHEMA: &str = "ddosim.sweepgrid/1";
+
+/// A parsed, validated grid-sweep plan: a base `ddosim.scenario/1` plan
+/// expanded along one defense's two parameter axes, plus the replicate
+/// count and base seed the CRN pairing runs under.
+#[derive(Debug)]
+pub struct SweepGridPlan {
+    /// Human-readable sweep name (table caption).
+    pub name: String,
+    /// The base plan every cell derives from.
+    pub base: ScenarioPlan,
+    /// The expanded grid cells, in axis-major order.
+    pub cells: Vec<GridCell>,
+    /// CRN replicates per cell.
+    pub replicates: u64,
+    /// Replicate `r` runs every cell under seed `base_seed + r`.
+    pub base_seed: u64,
+}
+
+impl SweepGridPlan {
+    /// Parses and strictly validates a `ddosim.sweepgrid/1` document:
+    /// schema pinned, unknown top-level fields rejected, the embedded
+    /// base plan validated by [`ScenarioPlan::parse`], and the grid
+    /// expanded eagerly so axis errors surface at parse time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| format!("sweep grid plan: {e}"))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SWEEPGRID_SCHEMA {
+            return Err(format!(
+                "sweep grid plan: schema must be '{SWEEPGRID_SCHEMA}', got '{schema}'"
+            ));
+        }
+        let axis = doc
+            .get("axis")
+            .and_then(Json::as_str)
+            .ok_or("sweep grid plan: missing 'axis'")?
+            .to_owned();
+        let (axis_a, axis_b) = match axis.as_str() {
+            "rate_limit" => ("rates_bps", "deploy_at_secs"),
+            "patch_rollout" => ("waves", "wave_interval_secs"),
+            "cnc_takedown" => ("at_secs", "backups"),
+            other => {
+                return Err(format!(
+                    "sweep grid plan: unknown axis '{other}' \
+                     (rate_limit | patch_rollout | cnc_takedown)"
+                ))
+            }
+        };
+        let known =
+            ["schema", "name", "axis", "replicates", "base_seed", "base", axis_a, axis_b];
+        if let Json::Obj(members) = &doc {
+            for (key, _) in members {
+                if !known.contains(&key.as_str()) {
+                    return Err(format!("sweep grid plan: unknown field '{key}'"));
+                }
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("sweep grid plan: missing 'name'")?
+            .to_owned();
+        let u64s = |field: &str| -> Result<Vec<u64>, String> {
+            let arr = doc
+                .get(field)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("sweep grid plan: '{field}' must be an array"))?;
+            if arr.is_empty() {
+                return Err(format!("sweep grid plan: '{field}' must not be empty"));
+            }
+            arr.iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        format!("sweep grid plan: '{field}' entries must be unsigned integers")
+                    })
+                })
+                .collect()
+        };
+        let base_json = doc.get("base").ok_or("sweep grid plan: missing 'base'")?;
+        let base = ScenarioPlan::parse(&base_json.to_string_compact())
+            .map_err(|e| format!("sweep grid plan: base: {}", String::from(e)))?;
+        let a = u64s(axis_a)?;
+        let b = u64s(axis_b)?;
+        let cells = match axis.as_str() {
+            "rate_limit" => rate_limit_grid(&base, &a, &b)?,
+            "patch_rollout" => {
+                let waves: Vec<u32> = a.iter().map(|&w| w as u32).collect();
+                patch_rollout_grid(&base, &waves, &b)?
+            }
+            "cnc_takedown" => {
+                let backups: Vec<u16> = b.iter().map(|&n| n as u16).collect();
+                takedown_grid(&base, &a, &backups)?
+            }
+            _ => unreachable!("axis validated above"),
+        };
+        let replicates = doc.get("replicates").and_then(Json::as_u64).unwrap_or(1).max(1);
+        let base_seed = doc.get("base_seed").and_then(Json::as_u64).unwrap_or(42);
+        Ok(SweepGridPlan { name, base, cells, replicates, base_seed })
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +438,54 @@ mod tests {
                 backups,
                 "config must track the swept backup count"
             );
+        }
+    }
+
+    fn grid_doc(extra: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "ddosim.sweepgrid/1",
+  "name": "test grid",
+  "axis": "rate_limit",
+  "rates_bps": [16000, 64000],
+  "deploy_at_secs": [26, 30],
+  "replicates": 2,
+  "base_seed": 7{extra},
+  "base": {{
+    "schema": "ddosim.scenario/1",
+    "name": "sweep-test",
+    "world": {{ "devs": 3, "sim_time_secs": 45, "attack_at_secs": 25 }},
+    "attack": {{ "vector": "udpplain", "duration_secs": 15 }},
+    "defenses": [{{ "kind": "rate_limit", "at_secs": 26, "rate_bps": 64000, "burst_bytes": 16000 }}]
+  }}
+}}"#
+        )
+    }
+
+    #[test]
+    fn sweepgrid_plan_parses_and_expands() {
+        let plan = SweepGridPlan::parse(&grid_doc("")).expect("valid grid plan");
+        assert_eq!(plan.name, "test grid");
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.replicates, 2);
+        assert_eq!(plan.base_seed, 7);
+        assert_eq!(plan.cells[0].label, "rate_limit 16000 bps at 26s");
+        assert_eq!(plan.base.name, "sweep-test");
+    }
+
+    #[test]
+    fn sweepgrid_plan_rejects_bad_documents() {
+        for (doc, fragment) in [
+            ("{}".to_owned(), "schema"),
+            (grid_doc("").replace("ddosim.sweepgrid/1", "ddosim.sweepgrid/2"), "schema"),
+            (grid_doc(",\n  \"surprise\": 1"), "unknown field 'surprise'"),
+            (grid_doc("").replace("rate_limit\"", "firewall\""), "unknown axis"),
+            (grid_doc("").replace("[16000, 64000]", "[]"), "must not be empty"),
+            (grid_doc("").replace("[16000, 64000]", "[\"fast\"]"), "unsigned"),
+            (grid_doc("").replace("ddosim.scenario/1", "nope/1"), "base"),
+        ] {
+            let err = SweepGridPlan::parse(&doc).expect_err("must reject");
+            assert!(err.contains(fragment), "error {err:?} does not mention {fragment:?}");
         }
     }
 

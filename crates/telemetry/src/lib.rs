@@ -95,7 +95,13 @@ impl TelemetryConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+/// A live event tap: invoked with every stamped [`Event`] the flight
+/// recorder accepts, the instant it is recorded. Serve mode attaches one
+/// to stream events over a socket while the run is still going. The sink
+/// only observes — the recorder stores exactly what it would store
+/// without one — so attaching a sink can never perturb a run.
+type EventSink = Rc<RefCell<dyn FnMut(&Event)>>;
+
 struct Inner {
     recorder: Option<FlightRecorder>,
     capture: Option<PacketCapture>,
@@ -112,6 +118,36 @@ struct Inner {
     /// the replayed simulation diverge from the original. Suppression must
     /// be invisible to everything except the collectors.
     suppressed: bool,
+    /// Streaming event sink, if attached (serve mode). Shared by plain
+    /// handle clones (they share this whole `Inner`), but deliberately
+    /// *not* inherited by [`Telemetry::deep_fork`]: the sink belongs to
+    /// one job's live stream, and a forked world's events must not leak
+    /// into the parent job's frames.
+    sink: Option<EventSink>,
+}
+
+impl Clone for Inner {
+    fn clone(&self) -> Self {
+        Inner {
+            recorder: self.recorder.clone(),
+            capture: self.capture.clone(),
+            metrics: self.metrics.clone(),
+            suppressed: self.suppressed,
+            sink: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("recorder", &self.recorder)
+            .field("capture", &self.capture)
+            .field("metrics", &self.metrics)
+            .field("suppressed", &self.suppressed)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// Cloneable handle to a run's collectors. The default handle is
@@ -146,6 +182,7 @@ impl Telemetry {
                 .metrics_interval
                 .map(|iv| SeriesSet::new(iv.as_nanos().max(1) as u64)),
             suppressed: false,
+            sink: None,
         };
         Telemetry {
             records: inner.recorder.is_some(),
@@ -186,11 +223,27 @@ impl Telemetry {
         }
         if let Some(inner) = &self.inner {
             let mut inner = inner.borrow_mut();
+            // Reborrow so the recorder and the sink can be used together
+            // (disjoint field borrows through the `RefMut`).
+            let inner = &mut *inner;
             if inner.suppressed {
                 return;
             }
             if let Some(rec) = inner.recorder.as_mut() {
-                rec.record(Event { time_nanos, seq: 0, node, category, detail: detail() });
+                let mut event =
+                    Event { time_nanos, seq: 0, node, category, detail: detail() };
+                match &inner.sink {
+                    // The sink sees the exact entry the ring stored —
+                    // same stamped sequence number, same payload — so a
+                    // streamed trace can be reassembled byte for byte.
+                    Some(sink) => {
+                        event.seq = rec.record(event.clone());
+                        (sink.borrow_mut())(&event);
+                    }
+                    None => {
+                        rec.record(event);
+                    }
+                }
             }
         }
     }
@@ -296,6 +349,35 @@ impl Telemetry {
         }
     }
 
+    /// Attaches a streaming event sink: `sink` runs with every stamped
+    /// event the flight recorder accepts, the moment it is recorded, on
+    /// the thread doing the recording. Replaces any previously attached
+    /// sink. No-op when the handle is disabled (and the sink never fires
+    /// unless the recorder is live — suppressed events skip it too).
+    ///
+    /// The sink must not call back into this handle (the collectors are
+    /// borrowed while it runs). Plain clones share the sink; `deep_fork`
+    /// drops it.
+    pub fn set_event_sink(&self, sink: impl FnMut(&Event) + 'static) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().sink = Some(Rc::new(RefCell::new(sink)));
+        }
+    }
+
+    /// Detaches the streaming event sink, if one is attached.
+    pub fn clear_event_sink(&self) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().sink = None;
+        }
+    }
+
+    /// The flight recorder's ring capacity, if recording.
+    pub fn recorder_capacity(&self) -> Option<usize> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().recorder.as_ref().map(FlightRecorder::capacity))
+    }
+
     /// Events recorded over the run (0 when the recorder is off).
     pub fn events_recorded(&self) -> u64 {
         self.inner
@@ -351,6 +433,62 @@ mod tests {
         t.with_metrics(|m| m.series_mut("queue_depth").push(3.0));
         let json = t.metrics_json().expect("metrics on");
         assert!(json.to_string_compact().contains("queue_depth"));
+    }
+
+    #[test]
+    fn event_sink_streams_exactly_what_the_ring_stores() {
+        let cfg = TelemetryConfig { record: true, ..TelemetryConfig::default() };
+        let t = Telemetry::from_config(&cfg);
+        let seen: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
+        let tap = Rc::clone(&seen);
+        t.set_event_sink(move |e| tap.borrow_mut().push(e.clone()));
+        t.record_event(5, Some(1), Category::Phase, || "init".into());
+        t.record_event(9, None, Category::Infection, || "dev1 infected".into());
+        let streamed = seen.borrow().clone();
+        assert_eq!(streamed.len(), 2);
+        assert_eq!(streamed[0].seq, 0, "sink sees the stamped sequence number");
+        assert_eq!(streamed[1].seq, 1);
+        // The streamed entries are byte-identical to the stored ring.
+        let stored = t.recorder_json().expect("recording");
+        let ring = FlightRecorder::events_from_json(&stored).expect("parse");
+        assert_eq!(streamed, ring);
+
+        // Suppressed events are invisible to the sink, like the ring.
+        t.set_suppressed(true);
+        t.record_event(10, None, Category::Phase, || "suppressed".into());
+        t.set_suppressed(false);
+        assert_eq!(seen.borrow().len(), 2);
+
+        // Detaching stops the stream but not the ring.
+        t.clear_event_sink();
+        t.record_event(11, None, Category::Phase, || "quiet".into());
+        assert_eq!(seen.borrow().len(), 2);
+        assert_eq!(t.events_recorded(), 3);
+        assert_eq!(t.recorder_capacity(), Some(65_536));
+    }
+
+    #[test]
+    fn deep_fork_drops_the_sink_but_clones_share_it() {
+        let cfg = TelemetryConfig { record: true, ..TelemetryConfig::default() };
+        let t = Telemetry::from_config(&cfg);
+        let count = Rc::new(RefCell::new(0u32));
+        let tap = Rc::clone(&count);
+        t.set_event_sink(move |_| *tap.borrow_mut() += 1);
+
+        // A plain clone shares the collectors, sink included.
+        t.clone().record_event(1, None, Category::Phase, || "via clone".into());
+        assert_eq!(*count.borrow(), 1);
+
+        // A fork gets its own collectors and no sink.
+        let fork = t.deep_fork();
+        fork.record_event(2, None, Category::Phase, || "via fork".into());
+        assert_eq!(*count.borrow(), 1, "forked events must not reach the sink");
+        assert_eq!(fork.events_recorded(), 2, "fork keeps the parent's counter");
+
+        // A disabled handle ignores sink attachment entirely.
+        let off = Telemetry::disabled();
+        off.set_event_sink(|_| panic!("must never fire"));
+        off.record_event(3, None, Category::Phase, || panic!("disabled"));
     }
 
     #[test]

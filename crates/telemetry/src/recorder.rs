@@ -58,9 +58,12 @@ impl FlightRecorder {
     }
 
     /// Records `event`, stamping it with the next sequence number and
-    /// evicting the oldest retained event when full.
-    pub fn record(&mut self, mut event: Event) {
-        event.seq = self.next_seq;
+    /// evicting the oldest retained event when full. Returns the sequence
+    /// number the event was stamped with, so a live tap (serve mode's
+    /// streaming sink) can forward the exact stored entry.
+    pub fn record(&mut self, mut event: Event) -> u64 {
+        let seq = self.next_seq;
+        event.seq = seq;
         self.next_seq += 1;
         self.total += 1;
         if self.buf.len() < self.capacity {
@@ -69,6 +72,7 @@ impl FlightRecorder {
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
         }
+        seq
     }
 
     /// Fast-forwards the sequence and total counters to `seq` without

@@ -18,8 +18,19 @@
 #                mid-attack and diff the identity branch's full trace
 #                against the uninterrupted run (a reseeded sibling must
 #                diverge)
+#   serve        serve == offline: start `ddosim serve` on an ephemeral
+#                port, submit checked-in plans (plain and defended), and
+#                byte-compare each streamed-and-reassembled recorder
+#                trace against the same seed+plan run offline with
+#                --record (trace diff + cmp); malformed submissions must
+#                exit non-zero without taking the server down, and a
+#                protocol shutdown must drain to a clean exit
 #
 #   usage: scripts/ci.sh [stage ...]    (no args = all stages, in order)
+#
+# When CI_ARTIFACT_DIR is set, the perf stage's compare output and the
+# final stage-timing table are also written there for upload as workflow
+# artifacts.
 #
 # The workspace resolves entirely from in-tree path dependencies (see
 # "Offline builds" in README.md), so this runs without network access.
@@ -38,6 +49,7 @@ trap 'rm -rf "$work"' EXIT
 
 DDOSIM="cargo run --release --offline -p ddosim --bin ddosim --"
 PERFSNAP="cargo run --release --offline -p ddosim-bench --bin perfsnap --"
+FRONTIER="cargo run --release --offline -p ddosim-bench --bin frontier --"
 
 # Small deterministic scenario shared by the determinism and checkpoint
 # stages; extra flags append.
@@ -78,9 +90,17 @@ stage_perf() {
     # Performance regression gate: a fresh smoke snapshot must stay within
     # 25% of the committed baseline on every throughput gauge (event queue,
     # link saturation, whole-sim, large topology, checkpoint snapshots,
-    # fork branches).
+    # fork branches). The compare output lands in CI_ARTIFACT_DIR (when
+    # set) so the workflow can upload it.
     $PERFSNAP --smoke --out "$work/fresh-snap.json"
-    $PERFSNAP --compare-only results/BENCH_netsim.json "$work/fresh-snap.json"
+    compare_log=${CI_ARTIFACT_DIR:+$CI_ARTIFACT_DIR/perf-compare.txt}
+    compare_log=${compare_log:-$work/perf-compare.txt}
+    mkdir -p "$(dirname "$compare_log")"
+    compare_status=0
+    $PERFSNAP --compare-only results/BENCH_netsim.json "$work/fresh-snap.json" \
+        > "$compare_log" 2>&1 || compare_status=$?
+    cat "$compare_log"
+    return "$compare_status"
 }
 
 stage_determinism() {
@@ -198,6 +218,13 @@ PLAN
     # flood arrives as TCP stream data.
     flt_lt "$base_rate" "$(scn_field dns_amplification avg_received_data_rate_kbps)"
     [ "$(scn_field http_flood flood_packets_received)" -gt 0 ]
+
+    # Defense-frontier gate (ROADMAP item 3): regenerating the committed
+    # frontier table from its checked-in sweep plan must reproduce it
+    # byte for byte (CRN-paired grid, deterministic per cell).
+    cp results/frontier.md "$work/frontier.committed.md"
+    $FRONTIER > /dev/null
+    cmp results/frontier.md "$work/frontier.committed.md"
 }
 
 stage_checkpoint() {
@@ -262,7 +289,45 @@ PLAN
     ! $DDOSIM trace diff "$full" "$work/fork.reseeded.json" > /dev/null
 }
 
-ALL_STAGES="build test perf determinism checkpoint"
+stage_serve() {
+    # Serving must not perturb determinism: a trace streamed out of the
+    # resident server, reassembled by the client, must equal the same
+    # seed+plan run offline with --record — byte for byte.
+    cargo build --release --offline -p ddosim --bin ddosim
+
+    serve_log=$work/serve.log
+    streamed=$work/serve-streamed.json
+    offline=$work/serve-offline.json
+    $DDOSIM serve --listen 127.0.0.1:0 --idle-timeout 120 > "$serve_log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 300); do
+        grep -q "^listening on " "$serve_log" 2> /dev/null && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$serve_log" | head -1)
+    [ -n "$addr" ]
+
+    # Byte-identity for a plain plan and a defended (layered) one: the
+    # semantic diff and the raw bytes must both agree.
+    for p in plans/baseline.scenario.json plans/layered_defense.scenario.json; do
+        $DDOSIM submit "$addr" --scenario "$p" --record "$streamed" > /dev/null 2> /dev/null
+        $DDOSIM --scenario "$p" --record "$offline" > /dev/null 2> /dev/null
+        $DDOSIM trace diff "$streamed" "$offline"
+        cmp "$streamed" "$offline"
+    done
+
+    # A malformed submission exits non-zero — and costs only an error
+    # frame, not the server: the next submission still completes.
+    printf '{ "schema": "ddosim.scenario/1" }\n' > "$work/bad-plan.json"
+    ! $DDOSIM submit "$addr" --scenario "$work/bad-plan.json" > /dev/null 2> /dev/null
+    $DDOSIM submit "$addr" --scenario plans/baseline.scenario.json > /dev/null 2> /dev/null
+
+    # A protocol shutdown drains the server to a clean exit.
+    $DDOSIM submit "$addr" --shutdown 2> /dev/null
+    wait "$serve_pid"
+}
+
+ALL_STAGES="build test perf determinism checkpoint serve"
 summary=""
 
 run_stage() {
@@ -294,3 +359,7 @@ fi
 
 echo "==> summary"
 printf '%s' "$summary"
+if [ -n "${CI_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$CI_ARTIFACT_DIR"
+    printf '%s' "$summary" > "$CI_ARTIFACT_DIR/stage-timings.txt"
+fi

@@ -17,6 +17,7 @@ pub use malware;
 pub use netsim;
 pub use protocols;
 pub use scenario;
+pub use serve;
 pub use telemetry;
 pub use testbed;
 pub use tinyvm;

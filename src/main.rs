@@ -21,6 +21,8 @@ USAGE:
     ddosim [OPTIONS]
     ddosim trace diff <A.json> <B.json>
     ddosim trace suffix <TRACE.json> <CHECKPOINT.json>
+    ddosim serve [--listen <ADDR>] [--idle-timeout <SECS>] [--workers <N>]
+    ddosim submit <ADDR> (--scenario <F> | --config <F> | --shutdown) [OPTIONS]
 
 OPTIONS:
     --devs <N>                number of Devs (default 25)
@@ -92,6 +94,29 @@ SUBCOMMANDS:
                               after checkpoint CP's snapshot (seq >= the
                               checkpoint's recorder count); diffing that against
                               a resumed run's trace proves resume = straight-through
+    serve                     long-running scenario server: accepts
+                              ddosim.serve/1 NDJSON requests over TCP and
+                              streams per-job frames (accepted/started, live
+                              flight-recorder events, time-series samples, the
+                              final deterministic result) to each client;
+                              prints \"listening on ADDR\" once bound
+        --listen <ADDR>       bind address (default 127.0.0.1:0, an
+                              ephemeral port)
+        --idle-timeout <SECS> stop after SECS with no connections or jobs
+        --workers <N>         worker threads (default: sized from the host)
+    submit <ADDR>             submit one job (or a shutdown) to a running
+                              server and consume its frame stream; exits
+                              non-zero if the server rejects or fails the job
+        --scenario <FILE>     submit a ddosim.scenario/1 plan file
+        --config <FILE>       submit a resolved configuration document
+        --shutdown            ask the server to drain and stop
+        --id <NAME>           client-chosen job id (default: server-assigned)
+        --record <FILE>       stream flight-recorder events and write the
+                              reassembled trace to FILE — byte-identical to
+                              the same seed+plan run offline with --record
+        --metrics-interval <SECS>  stream time-series samples every SECS
+        --follow              print every raw frame line as it arrives
+        --json                print the final result as pretty JSON
 ";
 
 /// A parsed command line.
@@ -104,6 +129,24 @@ enum Cli {
     TraceDiff { a: String, b: String },
     /// Restrict a trace to the events at or after a checkpoint.
     TraceSuffix { trace: String, checkpoint: String },
+    /// Run the long-running scenario server.
+    Serve(ddosim::serve::ServeOptions),
+    /// Submit one job (or a shutdown) to a running server.
+    Submit(Box<SubmitCli>),
+}
+
+/// Everything `ddosim submit` needs from the command line. Plan/config
+/// files are read at run time, so parsing alone accepts any path.
+struct SubmitCli {
+    addr: String,
+    scenario_path: Option<String>,
+    config_path: Option<String>,
+    shutdown: bool,
+    id: Option<String>,
+    record_out: Option<String>,
+    metrics_interval_secs: Option<f64>,
+    follow: bool,
+    json: bool,
 }
 
 /// Everything a simulation run needs from the command line.
@@ -139,7 +182,125 @@ const WORLD_FLAGS: &[&str] = &[
     "--reboot-rate", "--faults", "--seed", "--capture-filter", "--metrics-interval",
 ];
 
+/// Parses `ddosim serve ...` (everything after the subcommand word).
+fn parse_serve(args: &[String]) -> Result<Cli, String> {
+    let mut opts = ddosim::serve::ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("serve: {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--idle-timeout" => {
+                let secs: f64 = value("--idle-timeout")?
+                    .parse()
+                    .map_err(|e| format!("serve: --idle-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("serve: --idle-timeout: must be positive".to_owned());
+                }
+                opts.idle_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("serve: --workers: {e}"))?;
+                if n == 0 {
+                    return Err("serve: --workers: must be at least 1".to_owned());
+                }
+                opts.workers = Some(n);
+            }
+            other => return Err(format!("serve: unknown option: {other}")),
+        }
+    }
+    Ok(Cli::Serve(opts))
+}
+
+/// Parses `ddosim submit <ADDR> ...` (everything after the subcommand
+/// word).
+fn parse_submit(args: &[String]) -> Result<Cli, String> {
+    let addr = match args.first() {
+        Some(a) if !a.starts_with('-') => a.clone(),
+        _ => {
+            return Err(
+                "usage: ddosim submit <ADDR> (--scenario <F> | --config <F> | --shutdown)"
+                    .to_owned(),
+            )
+        }
+    };
+    let mut cli = SubmitCli {
+        addr,
+        scenario_path: None,
+        config_path: None,
+        shutdown: false,
+        id: None,
+        record_out: None,
+        metrics_interval_secs: None,
+        follow: false,
+        json: false,
+    };
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("submit: {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => cli.scenario_path = Some(value("--scenario")?),
+            "--config" => cli.config_path = Some(value("--config")?),
+            "--shutdown" => cli.shutdown = true,
+            "--id" => cli.id = Some(value("--id")?),
+            "--record" => cli.record_out = Some(value("--record")?),
+            "--metrics-interval" => {
+                let secs: f64 = value("--metrics-interval")?
+                    .parse()
+                    .map_err(|e| format!("submit: --metrics-interval: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("submit: --metrics-interval: must be positive".to_owned());
+                }
+                cli.metrics_interval_secs = Some(secs);
+            }
+            "--follow" => cli.follow = true,
+            "--json" => cli.json = true,
+            other => return Err(format!("submit: unknown option: {other}")),
+        }
+    }
+    let payloads =
+        usize::from(cli.scenario_path.is_some()) + usize::from(cli.config_path.is_some());
+    if cli.shutdown {
+        if payloads > 0 {
+            return Err("submit: --shutdown does not take a scenario or config".to_owned());
+        }
+        for (flag, set) in [
+            ("--id", cli.id.is_some()),
+            ("--record", cli.record_out.is_some()),
+            ("--metrics-interval", cli.metrics_interval_secs.is_some()),
+            ("--json", cli.json),
+        ] {
+            if set {
+                return Err(format!(
+                    "submit: {flag} cannot be combined with --shutdown"
+                ));
+            }
+        }
+    } else if payloads != 1 {
+        return Err(
+            "submit: provide exactly one of --scenario, --config, or --shutdown".to_owned(),
+        );
+    }
+    Ok(Cli::Submit(Box::new(cli)))
+}
+
 fn parse_args(args: &[String]) -> Result<Cli, String> {
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        return parse_submit(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("trace") {
         return match args[1..] {
             [ref sub, ref a, ref b] if sub == "diff" => {
@@ -759,6 +920,71 @@ fn trace_diff(a_path: &str, b_path: &str) -> ExitCode {
     }
 }
 
+/// Binds and serves, announcing the real (possibly ephemeral) port on
+/// stdout so scripts can poll for readiness.
+fn run_serve(opts: ddosim::serve::ServeOptions) -> Result<(), String> {
+    let server = ddosim::serve::Server::bind(opts)?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run()
+}
+
+/// Submits one job (or a shutdown) and reports its outcome.
+fn run_submit(cli: SubmitCli) -> Result<(), String> {
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    let opts = ddosim::serve::SubmitOptions {
+        addr: cli.addr,
+        scenario: cli.scenario_path.as_ref().map(read).transpose()?,
+        config: cli.config_path.as_ref().map(read).transpose()?,
+        shutdown: cli.shutdown,
+        id: cli.id,
+        record: cli.record_out.is_some(),
+        metrics_interval_secs: cli.metrics_interval_secs,
+        follow: cli.follow,
+    };
+    match ddosim::serve::submit(&opts)? {
+        ddosim::serve::SubmitOutcome::ShutdownAcknowledged => {
+            eprintln!("server acknowledged shutdown");
+            Ok(())
+        }
+        ddosim::serve::SubmitOutcome::Completed {
+            job,
+            result,
+            trace,
+            events_streamed,
+            metrics_samples,
+        } => {
+            if let Some(path) = &cli.record_out {
+                let trace = trace.ok_or("server streamed no trace for a record job")?;
+                std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("flight recorder written to {path}");
+            }
+            if cli.json {
+                println!("{}", result.to_string_pretty());
+            } else {
+                let pick = |key: &str| {
+                    result
+                        .get(key)
+                        .map(djson::Json::to_string_compact)
+                        .unwrap_or_else(|| "?".to_owned())
+                };
+                println!(
+                    "job {job}: devs={} recruited={} bots@command={} flood_rx={} pkts  \
+                     events={events_streamed} samples={metrics_samples}",
+                    pick("devs"),
+                    pick("infected"),
+                    pick("bots_at_command"),
+                    pick("flood_packets_received"),
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
@@ -768,6 +994,20 @@ fn main() -> ExitCode {
         }
         Ok(Cli::TraceDiff { a, b }) => trace_diff(&a, &b),
         Ok(Cli::TraceSuffix { trace, checkpoint }) => trace_suffix(&trace, &checkpoint),
+        Ok(Cli::Serve(opts)) => match run_serve(opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Cli::Submit(cli)) => match run_submit(*cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(Cli::Run(opts)) => match run(*opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
@@ -800,6 +1040,8 @@ mod tests {
                     Ok(Cli::Help) => "help".to_owned(),
                     Ok(Cli::TraceDiff { .. }) => "trace diff".to_owned(),
                     Ok(Cli::TraceSuffix { .. }) => "trace suffix".to_owned(),
+                    Ok(Cli::Serve(_)) => "serve".to_owned(),
+                    Ok(Cli::Submit(_)) => "submit".to_owned(),
                     Ok(Cli::Run(_)) => unreachable!(),
                     Err(e) => format!("error: {e}"),
                 }
@@ -863,6 +1105,34 @@ mod tests {
             (&["--sweep-seeds", "4", "--record", "t.json"], "--record"),
             (&["--sweep-seeds", "4", "--capture", "c.json"], "--capture"),
             (&["--sweep-seeds", "4", "--metrics-interval", "1"], "--metrics-interval"),
+            (&["serve", "--listen"], "requires a value"),
+            (&["serve", "--idle-timeout", "0"], "positive"),
+            (&["serve", "--idle-timeout", "soon"], "--idle-timeout"),
+            (&["serve", "--workers", "0"], "at least 1"),
+            (&["serve", "--workers", "many"], "--workers"),
+            (&["serve", "--frobnicate"], "unknown option"),
+            (&["submit"], "usage: ddosim submit"),
+            (&["submit", "--scenario", "p.json"], "usage: ddosim submit"),
+            (&["submit", "127.0.0.1:1"], "exactly one of"),
+            (
+                &["submit", "127.0.0.1:1", "--scenario", "a.json", "--config", "b.json"],
+                "exactly one of",
+            ),
+            (
+                &["submit", "127.0.0.1:1", "--shutdown", "--scenario", "a.json"],
+                "--shutdown",
+            ),
+            (
+                &["submit", "127.0.0.1:1", "--shutdown", "--record", "t.json"],
+                "--record",
+            ),
+            (&["submit", "127.0.0.1:1", "--shutdown", "--json"], "--json"),
+            (
+                &["submit", "127.0.0.1:1", "--scenario", "p.json", "--metrics-interval", "0"],
+                "positive",
+            ),
+            (&["submit", "127.0.0.1:1", "--id"], "requires a value"),
+            (&["submit", "127.0.0.1:1", "--frobnicate"], "unknown option"),
         ];
         for (args, fragment) in table {
             match parse(args) {
@@ -1050,6 +1320,55 @@ mod tests {
             }
             _ => panic!("trace diff did not parse"),
         }
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        let opts = match parse(&["serve"]) {
+            Ok(Cli::Serve(opts)) => opts,
+            _ => panic!("bare serve did not parse"),
+        };
+        assert_eq!(opts.listen, "127.0.0.1:0");
+        assert_eq!(opts.idle_timeout, None);
+        assert_eq!(opts.workers, None);
+        let opts = match parse(&[
+            "serve", "--listen", "127.0.0.1:47001", "--idle-timeout", "2.5", "--workers", "3",
+        ]) {
+            Ok(Cli::Serve(opts)) => opts,
+            _ => panic!("serve flags did not parse"),
+        };
+        assert_eq!(opts.listen, "127.0.0.1:47001");
+        assert_eq!(opts.idle_timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(opts.workers, Some(3));
+    }
+
+    #[test]
+    fn submit_subcommand_parses() {
+        let cli = match parse(&[
+            "submit", "127.0.0.1:47001", "--scenario", "plan.json", "--record", "t.json",
+            "--metrics-interval", "5", "--id", "a1", "--follow", "--json",
+        ]) {
+            Ok(Cli::Submit(cli)) => cli,
+            _ => panic!("submit did not parse"),
+        };
+        assert_eq!(cli.addr, "127.0.0.1:47001");
+        assert_eq!(cli.scenario_path.as_deref(), Some("plan.json"));
+        assert_eq!(cli.config_path, None);
+        assert!(!cli.shutdown);
+        assert_eq!(cli.id.as_deref(), Some("a1"));
+        assert_eq!(cli.record_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.metrics_interval_secs, Some(5.0));
+        assert!(cli.follow && cli.json);
+        let cli = match parse(&["submit", "127.0.0.1:47001", "--shutdown"]) {
+            Ok(Cli::Submit(cli)) => cli,
+            _ => panic!("submit --shutdown did not parse"),
+        };
+        assert!(cli.shutdown);
+        let cli = match parse(&["submit", "127.0.0.1:47001", "--config", "c.json"]) {
+            Ok(Cli::Submit(cli)) => cli,
+            _ => panic!("submit --config did not parse"),
+        };
+        assert_eq!(cli.config_path.as_deref(), Some("c.json"));
     }
 
     #[test]
